@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures under a
+reduced profile (same code paths as the full run, smaller workloads) so
+the whole suite completes in minutes.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.experiments import QUICK
+
+#: Benchmark profile: the quick profile trimmed for single-round timing.
+BENCH_PROFILE = QUICK.with_(
+    stereo_scale=0.3,
+    stereo_iterations=60,
+    sweep_scale=0.25,
+    sweep_iterations=40,
+    motion_scale=0.4,
+    motion_iterations=40,
+    seg_images=3,
+    seg_shape=(28, 36),
+    seg_iterations=10,
+    fig7_samples=50_000,
+    fig8_time_bits=(3, 5),
+    fig8_truncations=(0.05, 0.5),
+)
+
+
+@pytest.fixture(scope="session")
+def bench_profile():
+    """The reduced profile used by every benchmark."""
+    return BENCH_PROFILE
+
+
+def run_once(benchmark, func, **kwargs):
+    """Benchmark ``func`` with a single round (solves are expensive)."""
+    return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)

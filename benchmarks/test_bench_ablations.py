@@ -1,0 +1,111 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation times an end-to-end solve (or stage sweep) at design
+points differing in exactly one technique and asserts the expected
+quality or cost ordering:
+
+* decay-rate scaling on/off
+* probability cut-off on/off
+* 2^n lambda approximation on/off (quality-neutral, area-saving)
+* tie-break policy (deterministic policies inject drift)
+* LUT vs comparison-based conversion cost
+* truncation vs RET-network replica count
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.apps.stereo import StereoParams, solve_stereo
+from repro.core import conversion_memory_bits, new_design_config
+from repro.core.pipeline import ret_network_replicas
+from repro.data import load_stereo
+
+
+def _solve(dataset, config, iterations, seed=3):
+    params = StereoParams(iterations=iterations)
+    return solve_stereo(dataset, "rsu", params, rsu_config=config, seed=seed)
+
+
+def test_ablation_decay_rate_scaling(benchmark, bench_profile):
+    dataset = load_stereo("poster", scale=bench_profile.sweep_scale)
+    iterations = bench_profile.sweep_iterations
+
+    def run_pair():
+        with_scaling = _solve(dataset, new_design_config(), iterations)
+        without = _solve(
+            dataset, new_design_config(scaling=False, cutoff=False), iterations
+        )
+        return with_scaling.bad_pixel, without.bad_pixel
+
+    scaled_bp, unscaled_bp = run_once(benchmark, run_pair)
+    assert unscaled_bp > scaled_bp + 10.0
+
+
+def test_ablation_probability_cutoff(benchmark, bench_profile):
+    dataset = load_stereo("teddy", scale=bench_profile.sweep_scale)
+    iterations = bench_profile.sweep_iterations
+
+    def run_pair():
+        with_cutoff = _solve(dataset, new_design_config(), iterations)
+        without = _solve(dataset, new_design_config(cutoff=False), iterations)
+        return with_cutoff.bad_pixel, without.bad_pixel
+
+    cutoff_bp, no_cutoff_bp = run_once(benchmark, run_pair)
+    # Cut-off removes lambda0 rounding noise (many-label convergence).
+    assert cutoff_bp < no_cutoff_bp + 2.0
+
+
+def test_ablation_pow2_is_quality_neutral(benchmark, bench_profile):
+    dataset = load_stereo("poster", scale=bench_profile.sweep_scale)
+    iterations = bench_profile.sweep_iterations
+
+    def run_pair():
+        pow2 = _solve(dataset, new_design_config(), iterations)
+        exact = _solve(dataset, new_design_config(pow2_lambda=False), iterations)
+        return pow2.bad_pixel, exact.bad_pixel
+
+    pow2_bp, exact_bp = run_once(benchmark, run_pair)
+    assert abs(pow2_bp - exact_bp) < 10.0  # quality-neutral
+    config = new_design_config()
+    assert config.unique_lambdas < config.with_(pow2_lambda=False).unique_lambdas
+
+
+def test_ablation_tie_policy(benchmark, bench_profile):
+    dataset = load_stereo("teddy", scale=bench_profile.sweep_scale)
+    iterations = bench_profile.sweep_iterations
+
+    def run_pair():
+        random_ties = _solve(dataset, new_design_config(tie_policy="random"), iterations)
+        first_ties = _solve(dataset, new_design_config(tie_policy="first"), iterations)
+        return random_ties.bad_pixel, first_ties.bad_pixel
+
+    random_bp, first_bp = run_once(benchmark, run_pair)
+    # Deterministic ties drift labels toward one end (DESIGN.md sec. 4).
+    assert first_bp > random_bp
+
+
+def test_ablation_conversion_memory(benchmark, bench_profile):
+    config = new_design_config()
+
+    def measure():
+        return (
+            conversion_memory_bits(config, "lut"),
+            conversion_memory_bits(config, "boundaries"),
+        )
+
+    lut_bits, boundary_bits = run_once(benchmark, measure)
+    assert lut_bits == 1024 and boundary_bits == 32  # the paper's numbers
+
+
+def test_ablation_truncation_vs_replicas(benchmark, bench_profile):
+    config = new_design_config()
+
+    def measure():
+        return [
+            ret_network_replicas(config.with_(truncation=t))
+            for t in (0.004, 0.1, 0.3, 0.5, 0.7)
+        ]
+
+    replicas = run_once(benchmark, measure)
+    assert replicas == sorted(replicas)
+    assert replicas[0] == 1 and replicas[3] == 8  # paper's endpoints

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 3 (software vs previous RSU-G stereo BP)."""
+
+from conftest import run_once
+
+from repro.experiments import fig3
+
+
+def test_fig3_regeneration(benchmark, bench_profile):
+    result = run_once(benchmark, fig3.run, profile=bench_profile)
+    assert len(result.rows) == 3
+    for row in result.rows:
+        assert row[2] > row[1]  # previous RSU-G is worse everywhere

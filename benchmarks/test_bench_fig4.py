@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 4 (teddy disparity maps)."""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+
+
+def test_fig4_regeneration(benchmark, bench_profile, tmp_path):
+    result = run_once(
+        benchmark, fig4.run, profile=bench_profile, artifact_dir=str(tmp_path)
+    )
+    assert len(result.artifacts) == 4

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 5 (BP vs Lambda_bits per conversion variant)."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5_regeneration(benchmark, bench_profile):
+    result = run_once(benchmark, fig5.run, profile=bench_profile)
+    columns = result.columns
+    last = result.rows[-1]
+    software_avg = result.extra["software_avg"]
+    # The full technique stack reaches software-class quality.
+    assert abs(last[columns.index("scaled_cutoff_pow2")] - software_avg) < 15.0
+    # The unscaled variant does not.
+    assert last[columns.index("int_lambda_prev_RSUG")] > software_avg + 15.0

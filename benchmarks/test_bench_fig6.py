@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 6 (teddy maps, scaled-only vs full stack)."""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6_regeneration(benchmark, bench_profile, tmp_path):
+    result = run_once(
+        benchmark, fig6.run, profile=bench_profile, artifact_dir=str(tmp_path)
+    )
+    scaled_only, full_stack = (row[1] for row in result.rows)
+    assert full_stack < scaled_only  # the full stack is strictly better

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 7 (ratio relative error vs truncation)."""
+
+from conftest import run_once
+
+from repro.experiments import fig7
+
+
+def test_fig7_regeneration(benchmark, bench_profile):
+    result = run_once(benchmark, fig7.run, profile=bench_profile)
+    series = result.extra["series"]["8"]
+    assert series[0] > min(series)  # low truncation is worse than the valley
+    assert series[-1] > min(series)  # so is over-truncation

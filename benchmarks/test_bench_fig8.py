@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 8 (BP heatmap over Time_bits x Truncation)."""
+
+from conftest import run_once
+
+from repro.experiments import fig8
+
+
+def test_fig8_regeneration(benchmark, bench_profile):
+    result = run_once(benchmark, fig8.run, profile=bench_profile)
+    heatmap = result.extra["heatmap"]
+    assert len(heatmap) == len(bench_profile.fig8_time_bits)
+    for per_truncation in heatmap.values():
+        assert len(per_truncation) == len(bench_profile.fig8_truncations)

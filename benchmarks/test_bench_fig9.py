@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 9 (new RSU-G quality across applications)."""
+
+from conftest import run_once
+
+from repro.experiments import fig9
+
+
+def test_fig9_regeneration(benchmark, bench_profile, tmp_path):
+    result = run_once(
+        benchmark, fig9.run, profile=bench_profile, artifact_dir=str(tmp_path)
+    )
+    panels = {row[0] for row in result.rows}
+    assert panels == {"stereo BP%", "motion EPE", "segmentation VoI"}
+    # Quality parity: new RSU-G within a modest delta of software everywhere.
+    for row in result.rows:
+        if row[0] == "stereo BP%":
+            assert abs(row[2] - row[3]) < 15.0

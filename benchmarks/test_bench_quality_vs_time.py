@@ -1,0 +1,15 @@
+"""Benchmark: regenerate the equal-wall-clock quality comparison."""
+
+from conftest import run_once
+
+from repro.experiments import quality_vs_time
+
+
+def test_quality_vs_time_regeneration(benchmark, bench_profile):
+    result = run_once(benchmark, quality_vs_time.run, profile=bench_profile)
+    for row in result.rows:
+        _budget, gpu_iters, _gpu_bp, rsu_iters, _rsu_bp = row
+        assert rsu_iters >= gpu_iters
+    # At the tightest budget the RSU's extra iterations should not hurt.
+    tightest = result.rows[0]
+    assert tightest[4] <= tightest[2] + 8.0

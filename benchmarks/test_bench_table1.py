@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table I (std-dev of VoI across the image suite)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_regeneration(benchmark, bench_profile):
+    result = run_once(benchmark, table1.run, profile=bench_profile)
+    measured = [row for row in result.rows if not row[0].startswith("paper")]
+    assert len(measured) == 2
+    software, rsu = measured
+    for sw_value, rsu_value in zip(software[1:], rsu[1:]):
+        assert abs(sw_value - rsu_value) < 0.5  # matching spreads

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table II (stereo execution-time model)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2_regeneration(benchmark, bench_profile):
+    result = run_once(benchmark, table2.run, profile=bench_profile)
+    for row in result.rows:
+        speedup_flt = row[4]
+        assert speedup_flt > 1.5  # the RSU-augmented GPU always wins

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table III (new RSU-G area/power breakdown)."""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3_regeneration(benchmark, bench_profile):
+    result = run_once(benchmark, table3.run, profile=bench_profile)
+    totals = {row[0]: (row[1], row[2]) for row in result.rows}
+    area, power = totals["RSU Total"]
+    assert abs(area - 2903.0) < 1.0
+    assert abs(power - 4.99) < 0.01

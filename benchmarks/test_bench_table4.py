@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table IV (area vs alternative RNG designs)."""
+
+from conftest import run_once
+
+from repro.experiments import table4
+
+
+def test_table4_regeneration(benchmark, bench_profile):
+    result = run_once(benchmark, table4.run, profile=bench_profile)
+    areas = {row[0]: row[1] for row in result.rows}
+    assert areas["RSUG_noshare"] < areas["mt19937_noshare"]
+    assert areas["RSUG_optimistic"] < areas["19-bit LFSR"]

@@ -1,0 +1,51 @@
+"""Benchmarks: structural machine throughput and interface traffic."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import legacy_design_config, new_design_config
+from repro.isa import Configure, RSUDevice, RSUDriver
+from repro.uarch import LegacyMachine, NewMachine, jobs_from_energies
+
+
+def test_bench_structural_machines(benchmark, bench_profile):
+    """Cycle-driven simulation of both pipelines on one label stream."""
+    jobs = jobs_from_energies(
+        np.random.default_rng(0).integers(0, 256, (60, 12))
+    )
+
+    def run_both():
+        legacy = LegacyMachine(
+            legacy_design_config(), 40.0, np.random.default_rng(1)
+        ).run(jobs)
+        new = NewMachine(new_design_config(), 40.0, np.random.default_rng(1)).run(jobs)
+        return legacy, new
+
+    legacy, new = run_once(benchmark, run_both)
+    # Same steady-state throughput; the new design has no stalls.
+    assert new.stats["temperature_stalls"] == 0
+    assert abs(new.total_cycles - legacy.total_cycles) < 50
+
+
+def test_bench_interface_traffic(benchmark, bench_profile):
+    """Over-the-wire solve: new design needs 32x fewer update bytes."""
+    rng = np.random.default_rng(0)
+    unary = rng.integers(0, 30, (14, 18, 4))
+    temperatures = [15.0] * 6
+
+    def run_both():
+        new_driver = RSUDriver(
+            RSUDevice(new_design_config(), np.random.default_rng(1), "new"),
+            unary, Configure("binary", 1, 8, 4),
+        )
+        new_driver.solve(6, temperatures)
+        legacy_driver = RSUDriver(
+            RSUDevice(legacy_design_config(), np.random.default_rng(1), "legacy"),
+            unary, Configure("binary", 1, 8, 4),
+        )
+        legacy_driver.solve(6, temperatures)
+        return new_driver.interface_traffic(), legacy_driver.interface_traffic()
+
+    new_traffic, legacy_traffic = run_once(benchmark, run_both)
+    assert legacy_traffic["update_bytes"] == 32 * new_traffic["update_bytes"]
+    assert new_traffic["stall_cycles"] == 0

@@ -1,0 +1,50 @@
+"""Design-space exploration: quality vs cost over RSU-G parameters.
+
+Sweeps the four design parameters the paper identifies — Lambda_bits
+(with/without the new techniques), Time_bits and Truncation — on one
+stereo dataset, and pairs each quality number with its hardware cost
+(RET-network replica count, conversion memory).  A miniature of the
+paper's Secs. III-C and IV-A analysis.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.apps.stereo import StereoParams, solve_stereo
+from repro.core import RSUConfig, conversion_memory_bits, new_design_config
+from repro.core.pipeline import ret_circuit_replicas, ret_network_replicas
+from repro.data import load_stereo
+
+
+def main():
+    dataset = load_stereo("poster", scale=0.45)
+    params = StereoParams(iterations=120)
+
+    print("-- Lambda_bits sweep (float time stage, scaling+cutoff on/off) --")
+    for bits in (3, 4, 5):
+        full = RSUConfig(lambda_bits=bits, float_time=True)
+        bare = RSUConfig(
+            lambda_bits=bits, scaling=False, cutoff=False, pow2_lambda=False,
+            float_time=True,
+        )
+        bp_full = solve_stereo(dataset, "rsu", params, rsu_config=full, seed=5).bad_pixel
+        bp_bare = solve_stereo(dataset, "rsu", params, rsu_config=bare, seed=5).bad_pixel
+        print(f"  Lambda_bits={bits}: techniques on BP={bp_full:5.1f}%"
+              f"   off BP={bp_bare:5.1f}%")
+
+    print("\n-- Time_bits / Truncation sweep (full binned design) --")
+    print(f"  {'design point':28s} {'BP%':>6s} {'circuit reps':>12s} {'network reps':>12s}")
+    for time_bits, truncation in ((3, 0.05), (4, 0.3), (5, 0.5), (6, 0.5), (8, 0.7)):
+        config = new_design_config(time_bits=time_bits, truncation=truncation)
+        bp = solve_stereo(dataset, "rsu", params, rsu_config=config, seed=5).bad_pixel
+        print(f"  Time_bits={time_bits} Truncation={truncation:<4}"
+              f"          {bp:6.1f} {ret_circuit_replicas(config):12d}"
+              f" {ret_network_replicas(config):12d}")
+
+    config = new_design_config()
+    print("\n-- Conversion memory (Sec. IV-B.3) --")
+    print(f"  LUT:        {conversion_memory_bits(config, 'lut')} bits")
+    print(f"  boundaries: {conversion_memory_bits(config, 'boundaries')} bits")
+
+
+if __name__ == "__main__":
+    main()

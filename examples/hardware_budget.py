@@ -1,0 +1,50 @@
+"""Hardware budget report: area, power, entropy and pipeline timing.
+
+Prints the new and previous RSU-G cost breakdowns, the light-source
+sharing variants, the pseudo-RNG comparison, the entropy rate, and the
+cycle-level timing of both pipeline designs for a representative MCMC
+run — everything the paper's Sec. IV evaluation reports, from the
+analytical models in repro.hw and repro.core.pipeline.
+
+Run:  python examples/hardware_budget.py
+"""
+
+from repro.core import entropy_rate_gbps, legacy_design_config, new_design_config
+from repro.core.pipeline import simulate
+from repro.hw import (
+    legacy_rsu_breakdown,
+    new_rsu_breakdown,
+    power_ratio_new_vs_legacy,
+    table4_areas,
+)
+
+
+def main():
+    print("-- Table III: new RSU-G --")
+    for name, cost in new_rsu_breakdown().items():
+        print(f"  {name:16s} {cost.area_um2:7.0f} um^2  {cost.power_mw:5.2f} mW")
+    legacy = legacy_rsu_breakdown()["RSU Total"]
+    print(f"  previous design  {legacy.area_um2:7.0f} um^2  {legacy.power_mw:5.2f} mW"
+          f"  (power ratio {power_ratio_new_vs_legacy():.2f}x)")
+
+    print("\n-- Table IV: area vs alternative RNG designs --")
+    for name, area in table4_areas().items():
+        print(f"  {name:18s} {area:9.0f} um^2")
+
+    new = new_design_config()
+    legacy_cfg = legacy_design_config()
+    print("\n-- Entropy (1 GHz, one sample per cycle) --")
+    print(f"  new design, lambda0:      {entropy_rate_gbps(new):.2f} Gb/s")
+    print(f"  previous design, lambda0: {entropy_rate_gbps(legacy_cfg):.2f} Gb/s"
+          f"  (paper: 2.89 Gb/s)")
+
+    print("\n-- Pipeline timing: 64-label, 4096-variable, 100-iteration run --")
+    for design, config in (("legacy", legacy_cfg), ("new", new)):
+        timing = simulate(design, labels=64, variables=4096, iterations=100, config=config)
+        print(f"  {design:6s}: {timing.total_cycles:>10d} cycles,"
+              f" {timing.stall_cycles_per_iteration:4d} stall cycles/iteration,"
+              f" {timing.throughput_labels_per_cycle:.4f} labels/cycle")
+
+
+if __name__ == "__main__":
+    main()

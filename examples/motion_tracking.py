@@ -1,0 +1,32 @@
+"""Motion estimation: 2-D displacement labels in a 7x7 search window.
+
+The paper's second application (Sec. III-D2): each pixel's label is a
+motion vector; the energy uses the squared distance the previous RSU-G
+natively supports.  Prints per-dataset end-point error for the software
+baseline, the new RSU-G, and the LFSR-based pure-CMOS unit of Table IV.
+
+Run:  python examples/motion_tracking.py
+"""
+
+import numpy as np
+
+from repro import load_flow, solve_motion
+from repro.apps.motion import MotionParams
+
+
+def main():
+    params = MotionParams(iterations=120)
+    backends = ("software", "new_rsug", "cdf_lfsr")
+    print(f"{'dataset':12s} " + " ".join(f"{b:>10s}" for b in backends) + "  (avg EPE, px)")
+    for name in ("venus", "rubberwhale", "dimetrodon"):
+        dataset = load_flow(name, scale=0.8)
+        errors = [
+            solve_motion(dataset, backend, params, seed=4).epe for backend in backends
+        ]
+        print(f"{name:12s} " + " ".join(f"{e:10.3f}" for e in errors))
+    print("\nThe RSU-G and the LFSR inverse-CDF unit both track software quality"
+          "\non these benchmarks (the paper's Table IV quality observation).")
+
+
+if __name__ == "__main__":
+    main()

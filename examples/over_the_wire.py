@@ -1,0 +1,55 @@
+"""Running an MRF solve over the RSU-G's architectural interface.
+
+Compiles a Potts restoration problem into RSU command streams
+(CONFIGURE / SET_TEMPERATURE / EVALUATE), executes them on the
+functional device for both designs, and compares the interface traffic:
+the new design updates temperature with 4 bytes and zero stalls; the
+previous design streams its whole 128-byte LUT and stalls the pipeline
+for every byte (the paper's Question 3, measured).
+
+Run:  python examples/over_the_wire.py
+"""
+
+import numpy as np
+
+from repro.core import legacy_design_config, new_design_config
+from repro.isa import Configure, RSUDevice, RSUDriver
+
+
+def make_problem(h=20, w=26, m=4, seed=0):
+    rng = np.random.default_rng(seed)
+    target = np.zeros((h, w), dtype=int)
+    target[:, w // 2 :] = m - 1
+    target[h // 3 : 2 * h // 3, w // 4 : w // 2] = 1
+    unary = rng.integers(0, 30, (h, w, m))
+    rows = np.arange(h)[:, None]
+    cols = np.arange(w)[None, :]
+    unary[rows, cols, target] = 0
+    return unary, target
+
+
+def main():
+    unary, target = make_problem()
+    iterations = 25
+    temperatures = [25.0 * 0.85**k + 1.0 for k in range(iterations)]
+    for design, config in (("new", new_design_config()),
+                           ("legacy", legacy_design_config())):
+        device = RSUDevice(config, np.random.default_rng(7), design=design)
+        driver = RSUDriver(
+            device, unary, Configure("binary", singleton_weight=1,
+                                     doubleton_weight=8, n_labels=4)
+        )
+        labels = driver.solve(iterations, temperatures)
+        accuracy = (labels == target).mean()
+        traffic = driver.interface_traffic()
+        print(f"{design:6s} design: accuracy {accuracy:.2f}, "
+              f"{traffic['words_sent']:6d} words, "
+              f"{traffic['update_bytes']:5d} temperature-update bytes, "
+              f"{traffic['stall_cycles']:5d} stall cycles")
+    print("\nSame EVALUATE stream on both designs; only the temperature-"
+          "update\ninterface differs — the paper's 'minimal architectural"
+          " modifications'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Parallel tempering on RSU-G replicas.
+
+Replica exchange ("more than Gibbs sampling", the paper's future work):
+several chains at a temperature ladder — one RSU-G per replica — with
+periodic Metropolis swaps.  On a frustrated Potts landscape the cold
+chain escapes local minima through the hot replicas and reaches lower
+energy than a lone cold chain with the same sweep budget.
+
+Run:  python examples/parallel_tempering_demo.py
+"""
+
+import numpy as np
+
+from repro.core import NewRSUG, SoftwareSampler, label_distance_matrix
+from repro.mrf import ConstantSchedule, GridMRF, MCMCSolver
+from repro.mrf.tempering import ParallelTempering, geometric_ladder
+
+
+def frustrated_model(h=14, w=14, seed=11):
+    rng = np.random.default_rng(seed)
+    unary = rng.random((h, w, 2)) * 0.2
+    return GridMRF(unary, label_distance_matrix(2, "binary"), weight=0.5)
+
+
+def main():
+    model = frustrated_model()
+    sweeps = 60
+    ladder = geometric_ladder(0.02, 0.5, 4)
+
+    single = MCMCSolver(
+        model,
+        SoftwareSampler(np.random.default_rng(0)),
+        ConstantSchedule(ladder[0]),
+        init="random",
+        seed=5,
+    ).run(sweeps)
+    print(f"single cold chain      : final energy {single.final_energy:8.2f}")
+
+    def rsu_factory(index):
+        return NewRSUG(model.max_energy(), np.random.default_rng(40 + index))
+
+    tempering = ParallelTempering(model, rsu_factory, ladder, seed=5)
+    result = tempering.run(sweeps)
+    print(f"tempered RSU replicas  : final energy {result.final_energy:8.2f}"
+          f"  (swap rate {result.swap_rate:.2f}, ladder "
+          + ", ".join(f"{t:.3f}" for t in ladder) + ")")
+    better = result.final_energy <= single.final_energy
+    print("tempering found an equal or lower energy state"
+          if better else "single chain won this seed (stochastic)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro: reproduction of the ISCA 2018 RSU-G precision/quality study.
+
+"Architecting a Stochastic Computing Unit with Molecular Optical
+Devices" (Zhang, Bashizade, LaBoda, Dwyer, Lebeck).
+
+The public API re-exports the main entry points:
+
+* design points and sampler backends from :mod:`repro.core`;
+* the MRF/MCMC substrate from :mod:`repro.mrf`;
+* application drivers from :mod:`repro.apps`;
+* synthetic datasets from :mod:`repro.data`;
+* quality metrics from :mod:`repro.metrics`;
+* hardware area/power/performance models from :mod:`repro.hw`;
+* the experiment registry from :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro import load_stereo, solve_stereo
+    dataset = load_stereo("teddy", scale=0.5)
+    sw = solve_stereo(dataset, backend="software", seed=1)
+    rsu = solve_stereo(dataset, backend="new_rsug", seed=1)
+    print(sw.bad_pixel, rsu.bad_pixel)
+"""
+
+from repro.apps import (
+    make_backend,
+    solve_motion,
+    solve_segmentation,
+    solve_stereo,
+)
+from repro.core import (
+    CDFSampler,
+    LegacyRSUG,
+    NewRSUG,
+    RSUConfig,
+    RSUGSampler,
+    SoftwareSampler,
+    legacy_design_config,
+    new_design_config,
+)
+from repro.data import (
+    load_flow,
+    load_segmentation_suite,
+    load_stereo,
+)
+from repro.mrf import GridMRF, MCMCSolver
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "make_backend",
+    "solve_motion",
+    "solve_segmentation",
+    "solve_stereo",
+    "CDFSampler",
+    "LegacyRSUG",
+    "NewRSUG",
+    "RSUConfig",
+    "RSUGSampler",
+    "SoftwareSampler",
+    "legacy_design_config",
+    "new_design_config",
+    "load_flow",
+    "load_segmentation_suite",
+    "load_stereo",
+    "GridMRF",
+    "MCMCSolver",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""The paper's three evaluation applications (Sec. III-A)."""
+
+from repro.apps.common import BACKEND_KINDS, make_backend
+from repro.apps.denoise import (
+    DenoiseParams,
+    DenoiseResult,
+    build_denoise_mrf,
+    solve_denoise,
+)
+from repro.apps.motion import MotionParams, MotionResult, build_motion_mrf, solve_motion
+from repro.apps.pyramid import PyramidResult, solve_motion_pyramid
+from repro.apps.segmentation import (
+    SegmentationParams,
+    SegmentationResult,
+    build_segmentation_mrf,
+    solve_segmentation,
+)
+from repro.apps.stereo import StereoParams, StereoResult, build_stereo_mrf, solve_stereo
+
+__all__ = [
+    "DenoiseParams",
+    "DenoiseResult",
+    "build_denoise_mrf",
+    "solve_denoise",
+    "PyramidResult",
+    "solve_motion_pyramid",
+    "BACKEND_KINDS",
+    "make_backend",
+    "MotionParams",
+    "MotionResult",
+    "build_motion_mrf",
+    "solve_motion",
+    "SegmentationParams",
+    "SegmentationResult",
+    "build_segmentation_mrf",
+    "solve_segmentation",
+    "StereoParams",
+    "StereoResult",
+    "build_stereo_mrf",
+    "solve_stereo",
+]

@@ -1,0 +1,69 @@
+"""Shared helpers for the application drivers.
+
+Provides a single backend factory so applications and experiments name
+sampler backends the same way: ``software``, ``new_rsug``,
+``prev_rsug``, ``rsu`` (custom design point), ``cdf_ideal``,
+``cdf_lfsr``, ``cdf_mt19937``, ``greedy``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import SamplerBackend
+from repro.core.cdf_sampler import CDFSampler
+from repro.core.params import RSUConfig
+from repro.core.rsu import LegacyRSUG, NewRSUG, RSUGSampler
+from repro.core.software import GreedySampler, SoftwareSampler
+from repro.rng.lfsr import LFSR
+from repro.rng.mt19937 import MT19937
+from repro.rng.streams import LFSRBitSource, MTBitSource, NumpyBitSource
+from repro.util.errors import ConfigError
+
+BACKEND_KINDS = (
+    "software",
+    "new_rsug",
+    "prev_rsug",
+    "rsu",
+    "cdf_ideal",
+    "cdf_lfsr",
+    "cdf_mt19937",
+    "greedy",
+)
+
+
+def make_backend(
+    kind: str,
+    energy_full_scale: float,
+    seed: int = 0,
+    config: Optional[RSUConfig] = None,
+) -> SamplerBackend:
+    """Construct a sampler backend by name.
+
+    ``kind == "rsu"`` requires an explicit :class:`RSUConfig`; the named
+    design points ignore ``config``.
+    """
+    rng = np.random.default_rng(seed)
+    if kind == "software":
+        return SoftwareSampler(rng)
+    if kind == "greedy":
+        return GreedySampler()
+    if kind == "new_rsug":
+        return NewRSUG(energy_full_scale, rng)
+    if kind == "prev_rsug":
+        return LegacyRSUG(energy_full_scale, rng)
+    if kind == "rsu":
+        if config is None:
+            raise ConfigError("backend kind 'rsu' requires an explicit RSUConfig")
+        return RSUGSampler(config, energy_full_scale, rng)
+    if kind == "cdf_ideal":
+        return CDFSampler(NumpyBitSource(rng), energy_full_scale=energy_full_scale)
+    if kind == "cdf_lfsr":
+        source = LFSRBitSource(LFSR(width=19, seed=seed * 2 + 1))
+        return CDFSampler(source, energy_full_scale=energy_full_scale)
+    if kind == "cdf_mt19937":
+        source = MTBitSource(MT19937(seed=(seed * 7919 + 1) & 0xFFFFFFFF))
+        return CDFSampler(source, energy_full_scale=energy_full_scale)
+    raise ConfigError(f"unknown backend kind {kind!r}; expected one of {BACKEND_KINDS}")

@@ -1,0 +1,94 @@
+"""Image denoising / restoration via MCMC MRF inference.
+
+A fourth application beyond the paper's three (Sec. IV-D future work:
+"support for a wider application domain"): pixels take gray-level
+labels, the unary term is the absolute deviation from the noisy
+observation (robust to salt-and-pepper outliers) and the doubleton is a
+truncated absolute distance between neighbouring levels — both
+distances the new RSU-G's energy stage supports natively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.common import make_backend
+from repro.core.distance import label_distance_matrix
+from repro.core.params import RSUConfig
+from repro.data.denoise_data import DenoiseDataset, denoise_cost_volume, level_values
+from repro.metrics.denoise_metrics import label_accuracy, psnr
+from repro.mrf.annealing import geometric_for_span
+from repro.mrf.model import GridMRF
+from repro.mrf.solver import MCMCSolver, SolveResult
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DenoiseParams:
+    """Model and annealing parameters for restoration."""
+
+    weight: float = 0.03
+    pairwise_truncate: float = 3.0
+    iterations: int = 120
+    t0: float = 0.2
+    t_final: float = 0.006
+
+    def __post_init__(self):
+        if self.iterations < 2:
+            raise ConfigError(f"iterations must be >= 2, got {self.iterations}")
+
+
+@dataclass
+class DenoiseResult:
+    """Restored image plus quality metrics."""
+
+    dataset: str
+    backend: str
+    labels: np.ndarray
+    restored: np.ndarray
+    psnr_db: float
+    noisy_psnr_db: float
+    accuracy: float
+    solve: SolveResult
+
+
+def build_denoise_mrf(
+    dataset: DenoiseDataset, params: DenoiseParams = DenoiseParams()
+) -> GridMRF:
+    """Assemble the restoration MRF (absolute unary + truncated-absolute pair)."""
+    unary = denoise_cost_volume(dataset)
+    pairwise = label_distance_matrix(
+        dataset.n_levels, "absolute", truncate=params.pairwise_truncate
+    )
+    return GridMRF(unary=unary, pairwise=pairwise, weight=params.weight)
+
+
+def solve_denoise(
+    dataset: DenoiseDataset,
+    backend: str = "software",
+    params: DenoiseParams = DenoiseParams(),
+    rsu_config: Optional[RSUConfig] = None,
+    seed: int = 0,
+    track_energy: bool = False,
+) -> DenoiseResult:
+    """Run the full restoration pipeline with the named backend."""
+    model = build_denoise_mrf(dataset, params)
+    sampler = make_backend(backend, model.max_energy(), seed=seed, config=rsu_config)
+    schedule = geometric_for_span(params.t0, params.t_final, params.iterations)
+    solver = MCMCSolver(model, sampler, schedule, seed=seed, track_energy=track_energy)
+    result = solver.run(params.iterations)
+    restored = level_values(dataset.n_levels)[result.labels]
+    clean = dataset.clean_image
+    return DenoiseResult(
+        dataset=dataset.name,
+        backend=backend,
+        labels=result.labels,
+        restored=restored,
+        psnr_db=psnr(restored, clean),
+        noisy_psnr_db=psnr(dataset.noisy, clean),
+        accuracy=label_accuracy(result.labels, dataset.clean_labels),
+        solve=result,
+    )

@@ -1,0 +1,155 @@
+"""Exact win probabilities for binned first-to-fire selection.
+
+The Monte-Carlo path (``TTFSampler`` + ``select_first_to_fire``) is the
+hardware model; this module computes the same win probabilities in
+closed form from the per-bin mass of each competitor, including tie
+resolution.  It gives an exact version of Fig. 7 (no sampling error)
+and powers property tests that pin the sampler to its distribution.
+
+For labels with per-bin mass ``p_j(t)`` over bins ``1..T`` plus the
+no-sample outcome, and survival ``S_j(t) = P(TTF_j > t)``:
+
+* ``random`` ties — label ``i`` fires at ``t`` and beats the others,
+  sharing uniformly with any that tie:
+  ``P(i) = sum_t p_i(t) * E[1 / (1 + K_t)]`` where ``K_t`` counts the
+  other labels landing in the same bin and the expectation is over the
+  others' (tie, later) outcomes — computed exactly via the elementary
+  symmetric polynomial in the tie probabilities.
+* ``first`` ties — ``i`` wins iff every lower-index label fires
+  strictly later and every higher-index label fires no earlier.
+* ``last`` — the mirror image.
+
+All-timeout outcomes (every label in the no-sample bin) are resolved by
+the same tie rule over the sentinel bin.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.params import RSUConfig
+from repro.core.ttf import bin_probabilities
+from repro.util.errors import ConfigError
+
+
+def outcome_distributions(codes: Sequence[int], config: RSUConfig) -> np.ndarray:
+    """Per-label mass over bins 1..T plus the no-sample outcome.
+
+    Shape ``(M, T + 1)``; cut-off labels (code 0) put all mass on the
+    no-sample outcome but, unlike timed-out labels, can never win a tie
+    there — callers must handle code 0 explicitly (this function treats
+    it as never firing, which :func:`win_probabilities` does).
+    """
+    masses = []
+    for code in codes:
+        if code < 0:
+            raise ConfigError("codes must be non-negative")
+        if code == 0:
+            mass = np.zeros(config.time_bins + 1)
+            mass[-1] = 1.0
+        else:
+            mass = bin_probabilities(int(code), config)
+        masses.append(mass)
+    return np.asarray(masses)
+
+
+def _tie_share_factor(tie_probs: np.ndarray, later_probs: np.ndarray) -> float:
+    """``E[1 / (1 + K)]`` with K ~ sum of independent Bernoullis.
+
+    ``tie_probs[j]`` is the probability competitor ``j`` ties and
+    ``later_probs[j]`` that it fires strictly later; outcomes where a
+    competitor fires *earlier* contribute nothing (the caller already
+    restricted to the event that no one fired earlier), so the two
+    probabilities need not sum to one — the remaining mass is "i has
+    already lost", excluded by conditioning through multiplication.
+    """
+    # Polynomial coefficients of prod_j (later_j + tie_j * x).
+    coeffs = np.array([1.0])
+    for tie, later in zip(tie_probs, later_probs):
+        updated = np.zeros(len(coeffs) + 1)
+        updated[:-1] += coeffs * later
+        updated[1:] += coeffs * tie
+        coeffs = updated
+    weights = 1.0 / (1.0 + np.arange(len(coeffs)))
+    return float((coeffs * weights).sum())
+
+
+def win_probabilities(
+    codes: Sequence[int], config: RSUConfig, tie_policy: str = "random"
+) -> np.ndarray:
+    """Exact P(label i is selected) for a set of decay-rate codes.
+
+    Cut-off labels (code 0) can only be selected when *every* label is
+    cut off; then the tie rule applies over the cutoff outcome.
+    """
+    codes = list(codes)
+    m = len(codes)
+    if m < 1:
+        raise ConfigError("codes must be non-empty")
+    if tie_policy not in ("random", "first", "last"):
+        raise ConfigError(f"unknown tie policy {tie_policy!r}")
+    if all(c == 0 for c in codes):
+        if tie_policy == "random":
+            return np.full(m, 1.0 / m)
+        winner = 0 if tie_policy == "first" else m - 1
+        out = np.zeros(m)
+        out[winner] = 1.0
+        return out
+    mass = outcome_distributions(codes, config)
+    # Survival beyond each outcome index (the sentinel is the last).
+    survival = 1.0 - np.cumsum(mass, axis=1)
+    active = np.asarray([c > 0 for c in codes])
+    # A cut-off label is excluded from the comparison entirely (the
+    # conversion's MSB flags it): it never ties and never beats anyone —
+    # model it as always firing later.
+    for j in range(m):
+        if not active[j]:
+            mass[j, :] = 0.0
+            survival[j, :] = 1.0
+    n_outcomes = mass.shape[1]
+    wins = np.zeros(m)
+    for i in range(m):
+        if not active[i]:
+            continue  # beaten by any active label; never wins a tie at the sentinel
+        others = [j for j in range(m) if j != i]
+        total = 0.0
+        for t in range(n_outcomes):
+            p_here = mass[i, t]
+            if p_here == 0.0:
+                continue
+            if tie_policy == "random":
+                tie = mass[others, t]
+                later = survival[others, t]
+                total += p_here * _tie_share_factor(tie, later)
+            else:
+                factor = 1.0
+                for j in others:
+                    beats_tie = (j > i) if tie_policy == "first" else (j < i)
+                    if beats_tie:
+                        factor *= mass[j, t] + survival[j, t]  # tie or later
+                    else:
+                        factor *= survival[j, t]  # must be strictly later
+                total += p_here * factor
+        wins[i] = total
+    # The sentinel row above already covers all-timeout ties among
+    # active labels; cut-off labels keep probability zero.
+    return wins
+
+
+def expected_ratio_error(
+    ratio: int, truncation: float, time_bits: int = 5, tie_policy: str = "random"
+) -> float:
+    """Exact version of Fig. 7's relative error at one design point."""
+    if ratio < 1:
+        raise ConfigError(f"ratio must be >= 1, got {ratio}")
+    config = RSUConfig(time_bits=time_bits, truncation=truncation)
+    lam_max = config.lambda_max_code
+    if lam_max % ratio != 0:
+        raise ConfigError(f"ratio {ratio} does not divide lambda_max {lam_max}")
+    wins = win_probabilities([lam_max, lam_max // ratio], config, tie_policy)
+    if wins[1] == 0:
+        return float("inf")
+    realized = wins[0] / wins[1]
+    return abs(realized - ratio) / ratio

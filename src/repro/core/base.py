@@ -1,0 +1,86 @@
+"""Sampler-backend interface.
+
+Every sampler used by the MCMC solver — the float software baseline,
+the two RSU-G functional models, and the pseudo-RNG inverse-CDF units —
+implements the same contract: given a matrix of label energies for a
+batch of conditionally independent sites, draw one label per site.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.util.errors import DataError
+from repro.util.validation import check_positive
+
+
+class SamplerBackend(ABC):
+    """Draws Gibbs labels from per-site, per-label energies.
+
+    Subclasses implement :meth:`_sample_batch`; :meth:`sample` performs
+    the shared input validation.
+    """
+
+    #: Short identifier used in experiment outputs.
+    name: str = "base"
+
+    @abstractmethod
+    def _sample_batch(self, energies: np.ndarray, temperature: float) -> np.ndarray:
+        """Draw one label index per row of ``energies`` (validated input)."""
+
+    def sample(self, energies: np.ndarray, temperature: float) -> np.ndarray:
+        """Draw one label per site.
+
+        Parameters
+        ----------
+        energies:
+            Array of shape ``(n_sites, n_labels)``; entry ``(s, i)`` is
+            the total MRF energy of assigning label ``i`` to site ``s``
+            (Eq. 1).  Lower energy means higher probability (Eq. 2).
+        temperature:
+            Simulated-annealing temperature ``T`` dividing the energy.
+
+        Returns
+        -------
+        numpy.ndarray
+            Integer label indices, shape ``(n_sites,)``.
+        """
+        arr = np.asarray(energies, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] < 1 or arr.shape[0] < 1:
+            raise DataError(f"energies must be (n_sites, n_labels), got shape {arr.shape}")
+        check_positive("temperature", temperature)
+        labels = self._sample_batch(arr, float(temperature))
+        return np.asarray(labels, dtype=np.int64)
+
+
+def select_first_to_fire(
+    ttf: np.ndarray, tie_policy: str, rng: np.random.Generator
+) -> np.ndarray:
+    """Return the winning label per row of binned TTFs.
+
+    The selection stage of the RSU pipeline keeps the label with the
+    shortest time-to-fluorescence.  Binned TTFs tie; the policy decides
+    who wins a tie (see :data:`repro.core.params.TIE_POLICIES`).
+    """
+    ttf = np.asarray(ttf)
+    n_labels = ttf.shape[1]
+    if tie_policy == "first":
+        order = np.broadcast_to(np.arange(n_labels, dtype=np.int64), ttf.shape)
+    elif tie_policy == "last":
+        order = np.broadcast_to(
+            np.arange(n_labels - 1, -1, -1, dtype=np.int64), ttf.shape
+        )
+    elif tie_policy == "random":
+        order = np.argsort(rng.random(ttf.shape), axis=1).astype(np.int64)
+    else:
+        raise DataError(f"unknown tie policy {tie_policy!r}")
+    if np.issubdtype(ttf.dtype, np.floating):
+        # Continuous (float-time) TTFs tie with probability zero except
+        # at +inf (all labels cut off); spread those by the tie order.
+        big = np.float64(1e300)
+        keys = np.where(np.isinf(ttf), big * (1.0 + order / (10.0 * n_labels)), ttf)
+    else:
+        keys = ttf.astype(np.int64) * np.int64(n_labels) + order
+    return np.argmin(keys, axis=1).astype(np.int64)

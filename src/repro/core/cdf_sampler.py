@@ -1,0 +1,73 @@
+"""Pure-CMOS sampling unit model: inverse-CDF lookup on a pseudo-RNG.
+
+Table IV's alternative designs replace the RET sampling stage with a
+random number generator (LFSR, mt19937, or a true RNG) plus a LUT that
+stores the quantized cumulative distribution (the paper's example:
+"store {1,3,6,7} for the discrete probability distribution {1,2,3,1}").
+This module implements that unit so quality comparisons between the
+RSU-G and the pseudo-RNG baselines can be run end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import SamplerBackend
+from repro.core.energy import EnergyStage
+from repro.rng.streams import BitSource
+from repro.util.errors import ConfigError
+
+
+class CDFSampler(SamplerBackend):
+    """Inverse-CDF categorical sampler with quantized weights.
+
+    Parameters
+    ----------
+    source:
+        Uniform-variate source (ideal, LFSR, or MT19937 backed).
+    energy_bits / energy_full_scale:
+        Same energy front end as the RSU; the CDF LUT is built from the
+        quantized energies so the comparison with the RSU isolates the
+        sampling stage.
+    weight_bits:
+        Precision of the per-label weights stored in the CDF LUT;
+        ``None`` keeps float weights (an idealized unit).
+    """
+
+    name = "cdf"
+
+    def __init__(
+        self,
+        source: BitSource,
+        energy_bits: int = 8,
+        energy_full_scale: float = 255.0,
+        weight_bits: Optional[int] = None,
+    ):
+        if weight_bits is not None and weight_bits < 1:
+            raise ConfigError(f"weight_bits must be >= 1, got {weight_bits}")
+        self._source = source
+        self.energy_stage = EnergyStage(energy_bits, energy_full_scale)
+        self.weight_bits = weight_bits
+
+    def weights_for(self, energies: np.ndarray, temperature: float) -> np.ndarray:
+        """Per-label weights after energy quantization (and weight quantization)."""
+        quantized = self.energy_stage.quantize(energies).astype(np.float64)
+        t_grid = self.energy_stage.quantized_temperature(temperature)
+        scaled = quantized - quantized.min(axis=1, keepdims=True)
+        weights = np.exp(-scaled / t_grid)
+        if self.weight_bits is not None:
+            # The minimum-energy label always rounds to the LUT maximum,
+            # so every row keeps at least one selectable label.
+            top = (1 << self.weight_bits) - 1
+            weights = np.rint(weights * top)
+        return weights
+
+    def _sample_batch(self, energies: np.ndarray, temperature: float) -> np.ndarray:
+        weights = self.weights_for(energies, temperature)
+        cdf = np.cumsum(weights, axis=1)
+        totals = cdf[:, -1]
+        draws = self._source.uniforms(energies.shape[0]) * totals
+        # First index whose cumulative weight exceeds the draw.
+        return (cdf <= draws[:, None]).sum(axis=1).clip(max=energies.shape[1] - 1)

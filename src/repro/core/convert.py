@@ -1,0 +1,157 @@
+"""Energy-to-lambda conversion stage (stage 3 of the RSU-G pipeline).
+
+Implements Eq. 2 (``lambda = exp(-E / T)``) under the paper's integer
+code space, with the three techniques the new design introduces:
+
+* **decay-rate scaling** — subtract the per-variable minimum energy so
+  the best label always receives the maximum code (Eq. 4);
+* **probability cut-off** — codes that would fall below one are set to
+  zero (label never fires) instead of rounding up to ``lambda0``;
+* **2^n approximation** — codes are truncated to the nearest power of
+  two so the RET circuit needs only ``Lambda_bits`` unique rates.
+
+Two hardware realizations are modeled: the LUT indexed by energy (the
+previous design) and the comparison-against-boundaries scheme of
+Sec. IV-B.3.  Both must produce identical codes; tests assert this.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.core.params import RSUConfig
+from repro.util.errors import ConfigError
+from repro.util.quantize import nearest_pow2, unsigned_max
+
+
+def lambda_codes(
+    quantized_energy: np.ndarray, temperature: float, config: RSUConfig
+) -> np.ndarray:
+    """Convert quantized energies to integer decay-rate codes.
+
+    Parameters
+    ----------
+    quantized_energy:
+        Integer energies on the ``Energy_bits`` grid, shape
+        ``(n_sites, n_labels)``.
+    temperature:
+        Annealing temperature in grid units (``T`` of Eq. 2).
+    config:
+        Design point; ``scaling``, ``cutoff`` and ``pow2_lambda`` select
+        the conversion variant.
+
+    Returns
+    -------
+    numpy.ndarray
+        Codes in ``[0, config.lambda_max_code]``; a code of zero means
+        the label is cut off and never fires.
+    """
+    energy = np.asarray(quantized_energy, dtype=np.float64)
+    if energy.ndim != 2:
+        raise ConfigError(f"quantized_energy must be 2-D, got shape {energy.shape}")
+    if temperature <= 0:
+        raise ConfigError(f"temperature must be positive, got {temperature}")
+    scale = float(config.lambda_max_code)
+    if config.scaling:
+        energy = energy - energy.min(axis=1, keepdims=True)
+    raw = scale * np.exp(-energy / temperature)
+    if config.cutoff:
+        # Truncate toward zero: anything below one is not large enough
+        # to deserve lambda0 and is dropped (Sec. III-C2).
+        codes = np.floor(raw).astype(np.int64)
+    else:
+        # Previous behaviour: round, then round sub-lambda0 values up.
+        codes = np.maximum(np.rint(raw).astype(np.int64), 1)
+    codes = np.minimum(codes, config.lambda_max_code)
+    if config.pow2_lambda:
+        codes = nearest_pow2(codes)
+    return codes
+
+
+def boundary_table(temperature: float, config: RSUConfig) -> np.ndarray:
+    """Energy boundaries for the comparison-based conversion.
+
+    For the 2^n code set ``{lambda_max, ..., 2, 1, 0}`` the converter of
+    Sec. IV-B.3 stores one energy boundary per interval: a (scaled)
+    energy ``E`` receives code ``c`` iff ``E <= bound(c)`` and ``E >
+    bound(2c)``.  ``lambda_bits`` comparisons against these registers
+    replace the 1K-bit LUT.
+
+    Returns boundaries ordered from the largest code to code 1; an
+    energy above the last boundary is cut off (code 0).
+    """
+    if not (config.scaling and config.cutoff and config.pow2_lambda):
+        raise ConfigError(
+            "boundary-based conversion models the new design; requires "
+            "scaling, cutoff and pow2_lambda all enabled"
+        )
+    if temperature <= 0:
+        raise ConfigError(f"temperature must be positive, got {temperature}")
+    scale = float(config.lambda_max_code)
+    bounds: List[float] = []
+    code = config.lambda_max_code
+    while code >= 1:
+        # Largest energy whose nearest-pow2(floor(scale*exp(-E/T)))
+        # still reaches ``code``: floor(raw) >= lower edge of the
+        # rounding interval of ``code``.
+        lower_edge = _pow2_round_lower_edge(code)
+        bounds.append(temperature * math.log(scale / lower_edge))
+        code //= 2
+    return np.asarray(bounds, dtype=np.float64)
+
+
+def _pow2_round_lower_edge(code: int) -> int:
+    """Smallest integer value that nearest-pow2 maps to ``code``.
+
+    ``nearest_pow2`` rounds ties down, so integers in
+    ``(3*code/4, 3*code/2]`` map to ``code``; the smallest such integer
+    is ``floor(3*code/4) + 1``.
+    """
+    return (3 * code) // 4 + 1
+
+
+def lambda_codes_by_boundaries(
+    quantized_energy: np.ndarray, temperature: float, config: RSUConfig
+) -> np.ndarray:
+    """Comparison-based conversion (new design): must match :func:`lambda_codes`."""
+    energy = np.asarray(quantized_energy, dtype=np.float64)
+    if energy.ndim != 2:
+        raise ConfigError(f"quantized_energy must be 2-D, got shape {energy.shape}")
+    scaled = energy - energy.min(axis=1, keepdims=True)
+    bounds = boundary_table(temperature, config)
+    codes = np.zeros(scaled.shape, dtype=np.int64)
+    code = config.lambda_max_code
+    for bound in bounds:
+        # Assign the largest code whose interval contains the energy.
+        mask = (codes == 0) & (scaled <= bound + 1e-12)
+        codes[mask] = code
+        code //= 2
+    return codes
+
+
+def legacy_lut(temperature: float, config: RSUConfig) -> np.ndarray:
+    """Full energy-indexed LUT of the previous design.
+
+    One entry per quantized energy value (``2**Energy_bits`` entries of
+    ``Lambda_bits`` each — the 1024-bit memory of Sec. IV-B.3).  Only
+    meaningful for unscaled conversion, where the LUT index is the raw
+    quantized energy.
+    """
+    energies = np.arange(unsigned_max(config.energy_bits) + 1, dtype=np.float64)
+    return lambda_codes(energies[None, :], temperature, config)[0]
+
+
+def conversion_memory_bits(config: RSUConfig, scheme: str) -> int:
+    """Storage cost of a conversion scheme in bits (Sec. IV-B.3).
+
+    ``lut``: one ``lambda_bits`` entry per energy value.
+    ``boundaries``: one ``energy_bits`` register per nonzero code.
+    """
+    if scheme == "lut":
+        return (unsigned_max(config.energy_bits) + 1) * config.lambda_bits
+    if scheme == "boundaries":
+        return config.unique_lambdas * config.energy_bits
+    raise ConfigError(f"unknown conversion scheme {scheme!r}")

@@ -1,0 +1,87 @@
+"""Label-distance functions for the energy-computation stage.
+
+The previous RSU-G supported only the squared distance; the new design
+adds binary (Potts) and absolute distances, covering the doubleton
+energies of motion estimation, image segmentation, and stereo vision
+respectively (Sec. III-A and IV-B.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+#: Distance kinds the new RSU-G energy stage supports.
+DISTANCE_KINDS = ("squared", "absolute", "binary")
+
+
+def squared_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise squared distance ``(a - b)**2``."""
+    diff = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+    return diff * diff
+
+
+def absolute_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise absolute distance ``|a - b|``."""
+    return np.abs(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))
+
+
+def binary_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise binary (Potts) distance: 0 if equal, 1 otherwise."""
+    return (np.asarray(a) != np.asarray(b)).astype(np.float64)
+
+
+_FUNCTIONS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "squared": squared_distance,
+    "absolute": absolute_distance,
+    "binary": binary_distance,
+}
+
+
+def get_distance(kind: str) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    """Look up a distance function by name."""
+    if kind not in _FUNCTIONS:
+        raise ConfigError(f"unknown distance kind {kind!r}; expected one of {DISTANCE_KINDS}")
+    return _FUNCTIONS[kind]
+
+
+def label_distance_matrix(
+    n_labels: int, kind: str, truncate: float = np.inf
+) -> np.ndarray:
+    """Pairwise distance matrix over scalar labels ``0..n_labels-1``.
+
+    ``truncate`` caps the distance (a truncated linear/quadratic model,
+    standard in MRF vision formulations to keep depth discontinuities
+    affordable).  The matrix is what the new RSU-G's label-value LUT
+    plus combinational logic realizes in hardware.
+    """
+    if n_labels < 1:
+        raise ConfigError(f"n_labels must be >= 1, got {n_labels}")
+    func = get_distance(kind)
+    labels = np.arange(n_labels, dtype=np.float64)
+    matrix = func(labels[:, None], labels[None, :])
+    return np.minimum(matrix, truncate)
+
+
+def vector_label_distance_matrix(
+    label_vectors: np.ndarray, kind: str, truncate: float = np.inf
+) -> np.ndarray:
+    """Pairwise distance matrix over vector-valued labels.
+
+    Motion estimation labels are 2-D displacement vectors; the distance
+    between two labels sums the componentwise distance (squared ->
+    squared Euclidean norm, absolute -> L1 norm, binary -> vector
+    inequality).
+    """
+    vectors = np.asarray(label_vectors, dtype=np.float64)
+    if vectors.ndim != 2:
+        raise ConfigError(f"label_vectors must be 2-D, got shape {vectors.shape}")
+    if kind == "binary":
+        equal = np.all(vectors[:, None, :] == vectors[None, :, :], axis=-1)
+        return np.minimum((~equal).astype(np.float64), truncate)
+    func = get_distance(kind)
+    per_component = func(vectors[:, None, :], vectors[None, :, :])
+    return np.minimum(per_component.sum(axis=-1), truncate)

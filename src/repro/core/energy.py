@@ -1,0 +1,64 @@
+"""Energy-computation stage model (stage 2 of the RSU-G pipeline).
+
+The stage sums the singleton energy with the neighbourhood doubleton
+energies (Eq. 1) and emits an ``Energy_bits``-wide unsigned value.  The
+functional simulator receives float energies from the MRF model and
+quantizes them exactly as the fixed-point hardware would: scale so that
+``full_scale`` maps to the top of the grid, round, clamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+from repro.util.quantize import quantize_to_bits, unsigned_max
+
+
+@dataclass(frozen=True)
+class EnergyStage:
+    """Quantizer mapping raw float energies to the integer energy grid.
+
+    Parameters
+    ----------
+    energy_bits:
+        Output width (paper: 8).
+    full_scale:
+        Raw energy value that maps to the grid maximum.  Applications
+        derive it from their MRF model's maximum attainable energy so
+        the whole dynamic range of the grid is used.
+    """
+
+    energy_bits: int
+    full_scale: float
+
+    def __post_init__(self):
+        if self.full_scale <= 0:
+            raise ConfigError(f"full_scale must be positive, got {self.full_scale}")
+
+    @property
+    def grid_max(self) -> int:
+        """Largest representable quantized energy."""
+        return unsigned_max(self.energy_bits)
+
+    @property
+    def lsb(self) -> float:
+        """Raw-energy size of one quantization step."""
+        return self.full_scale / self.grid_max
+
+    def quantize(self, energies: np.ndarray) -> np.ndarray:
+        """Quantize raw energies onto the unsigned grid (int64 output)."""
+        return quantize_to_bits(np.asarray(energies, dtype=np.float64),
+                                self.energy_bits, self.full_scale)
+
+    def quantized_temperature(self, temperature: float) -> float:
+        """Convert a raw-unit temperature to grid units.
+
+        ``exp(-E_raw / T_raw) == exp(-E_grid / T_grid)`` requires the
+        temperature to scale with the same factor as the energy.
+        """
+        if temperature <= 0:
+            raise ConfigError(f"temperature must be positive, got {temperature}")
+        return temperature * (self.grid_max / self.full_scale)

@@ -1,0 +1,124 @@
+"""Device non-ideality models: SPAD dark counts and excitation bleed-through.
+
+Two physical effects the paper discusses qualitatively:
+
+* **Dark counts** (Sec. II-B): a SPAD occasionally fires with no photon.
+  At ~kHz dark-count rates against a 1 GHz RSU-G clock the paper calls
+  the effect negligible; :class:`NoisyTTFSampler` lets us verify that
+  claim quantitatively and explore where it stops holding.
+* **Excitation bleed-through** (Sec. IV-B.6): a RET network truncated at
+  probability ``Truncation`` may still hold excited chromophores; if it
+  is reused too soon, a leftover photon appears as a spuriously early
+  sample.  After resting ``n`` windows the residual probability is
+  ``Truncation**n``; the design reuses a network only when that falls
+  below the 0.4% budget (hence 8 replicas at Truncation = 0.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import RSUConfig
+from repro.core.pipeline import RESIDUAL_BUDGET, ret_network_replicas
+from repro.core.ttf import TTFSampler
+from repro.util.errors import ConfigError
+
+
+def dark_count_probability_per_window(
+    config: RSUConfig, dark_count_rate_hz: float, frequency_hz: float = 1e9
+) -> float:
+    """Probability a dark count lands inside one observation window.
+
+    The window spans ``2**time_bits`` bins at ``bins_per_cycle * f``
+    bins/s; a Poisson dark-count process at ``dark_count_rate_hz``
+    contributes ``1 - exp(-rate * window_seconds)``.
+    """
+    if dark_count_rate_hz < 0:
+        raise ConfigError(f"dark_count_rate_hz must be >= 0, got {dark_count_rate_hz}")
+    if frequency_hz <= 0:
+        raise ConfigError(f"frequency_hz must be positive, got {frequency_hz}")
+    from repro.core.pipeline import BINS_PER_CYCLE
+
+    window_seconds = config.time_bins / (BINS_PER_CYCLE * frequency_hz)
+    return 1.0 - np.exp(-dark_count_rate_hz * window_seconds)
+
+
+def residual_excitation_probability(config: RSUConfig, rest_windows: int) -> float:
+    """Probability a reused RET network still fires after resting.
+
+    ``rest_windows`` counts the observation windows since the network
+    was last excited (its own window included).
+    """
+    if rest_windows < 1:
+        raise ConfigError(f"rest_windows must be >= 1, got {rest_windows}")
+    return config.truncation**rest_windows
+
+
+class NoisyTTFSampler(TTFSampler):
+    """TTF sampler with injected device non-idealities.
+
+    Parameters
+    ----------
+    dark_prob:
+        Probability per label evaluation that a dark count fires at a
+        uniformly random bin within the window.
+    bleed_prob:
+        Probability per label evaluation that leftover excitation from
+        a previous sample fires, also at a uniform bin.  In a correctly
+        replicated design this equals
+        ``residual_excitation_probability(config, ret_network_replicas(config))``.
+
+    A spurious photon *shortens* the observed TTF if it lands before
+    the genuine one (SPADs report the first detection), which is
+    exactly how these effects corrupt first-to-fire sampling.
+    """
+
+    def __init__(
+        self,
+        config: RSUConfig,
+        rng: np.random.Generator,
+        dark_prob: float = 0.0,
+        bleed_prob: float = 0.0,
+    ):
+        super().__init__(config, rng)
+        for name, value in (("dark_prob", dark_prob), ("bleed_prob", bleed_prob)):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        self.dark_prob = dark_prob
+        self.bleed_prob = bleed_prob
+        self._noise_rng = rng
+
+    def sample(self, codes: np.ndarray) -> np.ndarray:
+        ttf = super().sample(codes)
+        if self.config.float_time:
+            raise ConfigError("non-ideality injection requires binned time")
+        spurious_prob = 1.0 - (1.0 - self.dark_prob) * (1.0 - self.bleed_prob)
+        if spurious_prob <= 0.0:
+            return ttf
+        hit = self._noise_rng.random(ttf.shape) < spurious_prob
+        spurious_bin = self._noise_rng.integers(
+            1, self.config.time_bins + 1, size=ttf.shape
+        )
+        # A spurious photon is observed only if it precedes the real one
+        # (or the real one never came).  Cut-off labels (code 0) have no
+        # network illuminated, so they cannot produce spurious photons.
+        active = np.asarray(codes) > 0
+        corrupted = np.where(hit & active, np.minimum(ttf, spurious_bin), ttf)
+        return corrupted.astype(np.int64)
+
+
+def expected_spurious_rate(config: RSUConfig, replicas: int = None) -> float:
+    """Per-evaluation spurious-sample probability of a replica design.
+
+    With ``replicas`` RET-network sets cycling, a network rests
+    ``replicas`` windows between uses.  The paper's design point targets
+    :data:`~repro.core.pipeline.RESIDUAL_BUDGET` (0.4%).
+    """
+    if replicas is None:
+        replicas = ret_network_replicas(config)
+    return residual_excitation_probability(config, replicas)
+
+
+def meets_residual_budget(config: RSUConfig, replicas: int = None) -> bool:
+    """Whether a replica count meets the paper's 99.6% quiet target."""
+    return expected_spurious_rate(config, replicas) <= RESIDUAL_BUDGET + 1e-12

@@ -1,0 +1,203 @@
+"""RSU-G design-parameter configuration.
+
+The paper identifies four design parameters that determine result
+quality (Sec. III-C): energy precision (``Energy_bits``), decay-rate
+precision (``Lambda_bits``), time-measurement precision (``Time_bits``)
+and distribution ``Truncation``; plus three techniques introduced for
+the new design: decay-rate scaling, probability cut-off, and 2^n lambda
+approximation.  :class:`RSUConfig` captures all of them in one place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.util.errors import ConfigError
+from repro.util.validation import check_probability
+
+#: Tie-break policies for the first-to-fire selection stage.
+TIE_POLICIES = ("first", "last", "random")
+
+
+@dataclass(frozen=True)
+class RSUConfig:
+    """Complete parameterization of one RSU-G design point.
+
+    Attributes
+    ----------
+    energy_bits:
+        Width of the energy-computation output (paper: 8).
+    lambda_bits:
+        Width of the decay-rate code.  With 2^n approximation this is
+        also the number of unique nonzero decay rates (paper: 4).
+    time_bits:
+        Width of the time-to-fluorescence measurement; the detection
+        window spans ``2**time_bits`` unit time bins (paper: 5).
+    truncation:
+        Probability that a sample drawn at the lowest nonzero decay
+        rate exceeds the detection window, ``exp(-lambda0 * t_max)``
+        (paper: 0.5 for the new design, 0.004 for the previous one).
+    scaling:
+        Apply decay-rate scaling: subtract the per-variable minimum
+        energy before the energy-to-lambda conversion (Eq. 4).
+    cutoff:
+        Apply probability cut-off: integer lambda codes below one are
+        set to zero instead of being rounded up to ``lambda0``.
+    pow2_lambda:
+        Apply 2^n lambda approximation: truncate codes to the nearest
+        power of two so only ``lambda_bits`` unique rates are needed.
+    tie_policy:
+        How the selection stage resolves equal binned TTFs: ``first``
+        keeps the earliest evaluated label (a hardware comparator using
+        strict less-than), ``last`` the latest, ``random`` a uniform
+        choice among the tied labels.  ``random`` is the default: with
+        only ``2**time_bits`` bins ties are frequent, and a
+        deterministic policy injects a systematic per-sweep drift that
+        ruins result quality (see the tie-policy ablation benchmark).
+        Hardware can realize it with one extra entropy bit per
+        comparison.
+    clamp_to_tmax:
+        If True, samples beyond the detection window are recorded in
+        the last bin; if False they are treated as "no sample"
+        (infinity), the behaviour described in Sec. II-C.
+    lambda_scale_exponent:
+        Exponent ``n`` such that the conversion scale is ``2**n`` and
+        the maximum decay-rate code is ``2**n`` times the lowest one.
+        Defaults to ``lambda_bits - 1`` so that ``lambda_bits = 4``
+        yields the paper's 1x/2x/4x/8x concentrations (lambda_max =
+        8*lambda0, Fig. 7 and Fig. 11).
+    float_time:
+        Measure TTF in IEEE float with no truncation (the idealized
+        time stage the paper's sequential methodology uses while
+        exploring ``Energy_bits`` and ``Lambda_bits``, Sec. III-C).
+        With continuous time, first-to-fire is an exact categorical
+        draw over the decay-rate codes.
+    """
+
+    energy_bits: int = 8
+    lambda_bits: int = 4
+    time_bits: int = 5
+    truncation: float = 0.5
+    scaling: bool = True
+    cutoff: bool = True
+    pow2_lambda: bool = True
+    tie_policy: str = "random"
+    clamp_to_tmax: bool = False
+    lambda_scale_exponent: Optional[int] = None
+    float_time: bool = False
+
+    def __post_init__(self):
+        for name, value, low, high in (
+            ("energy_bits", self.energy_bits, 1, 16),
+            ("lambda_bits", self.lambda_bits, 1, 12),
+            ("time_bits", self.time_bits, 1, 16),
+        ):
+            if not isinstance(value, int) or not low <= value <= high:
+                raise ConfigError(f"{name} must be an int in [{low}, {high}], got {value!r}")
+        check_probability("truncation", self.truncation)
+        if self.tie_policy not in TIE_POLICIES:
+            raise ConfigError(
+                f"tie_policy must be one of {TIE_POLICIES}, got {self.tie_policy!r}"
+            )
+        if self.lambda_scale_exponent is not None and self.lambda_scale_exponent < 0:
+            raise ConfigError("lambda_scale_exponent must be >= 0")
+
+    @property
+    def scale_exponent(self) -> int:
+        """Effective conversion-scale exponent (see ``lambda_scale_exponent``)."""
+        if self.lambda_scale_exponent is not None:
+            return self.lambda_scale_exponent
+        return self.lambda_bits - 1
+
+    @property
+    def lambda_max_code(self) -> int:
+        """Largest decay-rate code (multiple of ``lambda0``)."""
+        return 1 << self.scale_exponent
+
+    @property
+    def time_bins(self) -> int:
+        """Number of unit time bins in the detection window."""
+        return 1 << self.time_bits
+
+    @property
+    def lambda0_per_bin(self) -> float:
+        """Per-bin decay rate of the lowest nonzero code.
+
+        Defined by ``Truncation = exp(-lambda0 * t_max)`` (Sec. III-C3).
+        """
+        return -math.log(self.truncation) / self.time_bins
+
+    @property
+    def unique_lambdas(self) -> int:
+        """Number of unique nonzero decay rates the RET circuit needs."""
+        if self.pow2_lambda:
+            return self.scale_exponent + 1
+        return self.lambda_max_code
+
+    def with_(self, **changes) -> "RSUConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """Serializable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "energy_bits": self.energy_bits,
+            "lambda_bits": self.lambda_bits,
+            "time_bits": self.time_bits,
+            "truncation": self.truncation,
+            "scaling": self.scaling,
+            "cutoff": self.cutoff,
+            "pow2_lambda": self.pow2_lambda,
+            "tie_policy": self.tie_policy,
+            "clamp_to_tmax": self.clamp_to_tmax,
+            "lambda_scale_exponent": self.lambda_scale_exponent,
+            "float_time": self.float_time,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RSUConfig":
+        """Rebuild a design point from :meth:`to_dict` output."""
+        known = {
+            "energy_bits", "lambda_bits", "time_bits", "truncation",
+            "scaling", "cutoff", "pow2_lambda", "tie_policy",
+            "clamp_to_tmax", "lambda_scale_exponent", "float_time",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(f"unknown RSUConfig fields: {sorted(unknown)}")
+        return cls(**payload)
+
+
+def new_design_config(**overrides) -> RSUConfig:
+    """The paper's chosen new-design point (Sec. III-D)."""
+    base = RSUConfig(
+        energy_bits=8,
+        lambda_bits=4,
+        time_bits=5,
+        truncation=0.5,
+        scaling=True,
+        cutoff=True,
+        pow2_lambda=True,
+    )
+    return base.with_(**overrides) if overrides else base
+
+
+def legacy_design_config(**overrides) -> RSUConfig:
+    """The previously proposed RSU-G design point (Wang et al., Sec. II-C).
+
+    No decay-rate scaling, no cut-off (sub-``lambda0`` probabilities
+    round up to ``lambda0``), no 2^n approximation, and a very low
+    truncation (0.004 via four RET-circuit replicas).
+    """
+    base = RSUConfig(
+        energy_bits=8,
+        lambda_bits=4,
+        time_bits=5,
+        truncation=0.004,
+        scaling=False,
+        cutoff=False,
+        pow2_lambda=False,
+    )
+    return base.with_(**overrides) if overrides else base

@@ -1,0 +1,121 @@
+"""Phase-type distribution sampling with RET exponential stages.
+
+The paper's future work (Sec. IV-D) includes "exploring sampling from
+phase-type distributions".  A (acyclic) phase-type random variable is
+the absorption time of a chain of exponential stages; chaining RET
+circuits — feed the fluorescence of one stage into the excitation of
+the next — realizes exactly that.  This module provides the functional
+model: hypoexponential (distinct-rate chains) and Erlang (equal-rate
+chains) samplers built from the same binned-exponential stage model as
+the RSU-G, plus their analytic moments for validation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.params import RSUConfig
+from repro.core.ttf import TTFSampler
+from repro.util.errors import ConfigError
+
+
+def validate_stage_codes(codes: Sequence[int], config: RSUConfig) -> np.ndarray:
+    """Check a chain's per-stage decay-rate codes."""
+    arr = np.asarray(codes, dtype=np.int64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigError("stage codes must be a non-empty 1-D sequence")
+    if np.any(arr < 1) or np.any(arr > config.lambda_max_code):
+        raise ConfigError(
+            f"stage codes must be in [1, {config.lambda_max_code}], got {codes}"
+        )
+    return arr
+
+
+def stage_moments(code: int, config: RSUConfig) -> tuple:
+    """(mean, variance) of one binned stage, in bins.
+
+    The stage redraws on timeout (the hardware re-excites the RET
+    network), so its outcome is the binned exponential *conditioned on
+    firing within the window*: bin ``t`` with probability
+    ``p_t / (1 - tail)``.  With ``config.float_time`` the stage is the
+    ideal untruncated exponential instead.
+    """
+    if config.float_time:
+        rate = code * config.lambda0_per_bin
+        return 1.0 / rate, 1.0 / rate**2
+    from repro.core.ttf import bin_probabilities
+
+    mass = bin_probabilities(code, config)
+    bins = np.arange(1, config.time_bins + 1, dtype=np.float64)
+    conditional = mass[:-1] / (1.0 - mass[-1])
+    mean = float((bins * conditional).sum())
+    second = float((bins**2 * conditional).sum())
+    return mean, second - mean**2
+
+
+def phase_type_mean(codes: Sequence[int], config: RSUConfig) -> float:
+    """Mean absorption time (in bins): sum of the stage means."""
+    arr = validate_stage_codes(codes, config)
+    return float(sum(stage_moments(int(code), config)[0] for code in arr))
+
+
+def phase_type_variance(codes: Sequence[int], config: RSUConfig) -> float:
+    """Variance of the absorption time (bins^2): sum of stage variances."""
+    arr = validate_stage_codes(codes, config)
+    return float(sum(stage_moments(int(code), config)[1] for code in arr))
+
+
+class PhaseTypeSampler:
+    """Samples hypoexponential/Erlang times by chaining RET stages.
+
+    Each stage is one binned exponential draw from the shared
+    :class:`TTFSampler`; the absorption time is the sum of the stage
+    TTFs.  A stage that exceeds its window restarts (the hardware would
+    re-excite the stage's RET network), which mildly truncates the tail
+    exactly as the single-stage RSU does.
+    """
+
+    def __init__(self, config: RSUConfig, rng: np.random.Generator):
+        if config.float_time:
+            self._float = True
+        else:
+            self._float = False
+        self.config = config
+        self._stage_sampler = TTFSampler(config, rng)
+
+    def sample(self, codes: Sequence[int], count: int) -> np.ndarray:
+        """Draw ``count`` absorption times (in bins) for a stage chain."""
+        arr = validate_stage_codes(codes, self.config)
+        if count < 1:
+            raise ConfigError(f"count must be >= 1, got {count}")
+        total = np.zeros(count, dtype=np.float64)
+        for code in arr:
+            stage = self._draw_stage(int(code), count)
+            total += stage
+        return total
+
+    def _draw_stage(self, code: int, count: int) -> np.ndarray:
+        """One stage's TTFs; timed-out draws are redrawn (re-excitation)."""
+        pending = np.arange(count)
+        out = np.zeros(count, dtype=np.float64)
+        guard = 0
+        while pending.size:
+            draws = self._stage_sampler.sample(np.full((pending.size, 1), code))[:, 0]
+            if self._float:
+                finite = np.isfinite(draws)
+            else:
+                finite = draws <= self.config.time_bins
+            out[pending[finite]] = draws[finite]
+            pending = pending[~finite]
+            guard += 1
+            if guard > 10_000:
+                raise ConfigError("stage redraw did not terminate; rate too low")
+        return out
+
+    def erlang(self, code: int, stages: int, count: int) -> np.ndarray:
+        """Erlang(k, rate) absorption times: ``stages`` equal-rate stages."""
+        if stages < 1:
+            raise ConfigError(f"stages must be >= 1, got {stages}")
+        return self.sample([code] * stages, count)

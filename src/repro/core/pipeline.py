@@ -1,0 +1,198 @@
+"""Cycle-level timing models of the RSU-G pipelines.
+
+Question 3 of the paper: the new microarchitecture must keep the
+previous design's architectural interface and steady-state throughput
+of one label evaluation per cycle.  These models compute latency,
+throughput, stall cycles and replica requirements for both pipelines so
+the claim can be checked quantitatively.
+
+Previous pipeline (Fig. 2b): 5 stages — label decrement, energy
+computation, energy-to-intensity LUT, RET sampling (multi-cycle,
+replicated), selection.  Single-variable latency is ``7 + (M - 1)``
+cycles for ``M`` labels.  A temperature update rewrites the whole
+energy-to-intensity LUT through the external interface, stalling the
+pipeline.
+
+New pipeline (Fig. 10): the energy FIFO decouples the front end
+(working on variable ``v+1``) from the back end (variable ``v``);
+min-energy tracking adds a stage, conversion is comparison-based, and
+double-buffered boundary registers absorb temperature updates with zero
+stalls.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.params import RSUConfig
+from repro.util.errors import ConfigError
+
+#: Unit time bins observable per clock cycle: an 8x clock multiplier
+#: feeding an 8-bit shift register (Sec. IV-B.5).
+BINS_PER_CYCLE = 8
+
+#: Residual excitation probability budget: a RET network may be reused
+#: once the chance it still fires is below this (99.6% quiet, Sec. IV-B.6).
+RESIDUAL_BUDGET = 0.004
+
+
+def sampling_window_cycles(config: RSUConfig) -> int:
+    """Clock cycles needed to observe ``2**Time_bits`` bins.
+
+    ``Cycles = 2**Time_bits / 8`` (Sec. IV-B.5), at least one cycle.
+    """
+    return max(1, config.time_bins // BINS_PER_CYCLE)
+
+
+def ret_circuit_replicas(config: RSUConfig) -> int:
+    """RET-circuit replicas required to sustain one label per cycle.
+
+    The sampling stage occupies a circuit for the whole observation
+    window, so the window length in cycles is the replica count needed
+    to avoid a structural hazard.
+    """
+    return sampling_window_cycles(config)
+
+
+def ret_network_replicas(config: RSUConfig, residual: float = RESIDUAL_BUDGET) -> int:
+    """RET-network replica sets required before a network can be reused.
+
+    After the window closes with probability ``Truncation`` the network
+    is still excited; after ``n`` windows the leftover probability is
+    ``Truncation**n``.  The design reuses a network only once that falls
+    below ``residual`` (paper: Truncation=0.5 -> 8 replicas for 99.6%).
+    """
+    if not 0 < residual < 1:
+        raise ConfigError(f"residual must be in (0, 1), got {residual}")
+    if config.truncation <= residual:
+        return 1
+    return math.ceil(math.log(residual) / math.log(config.truncation))
+
+
+@dataclass(frozen=True)
+class PipelineTiming:
+    """Timing summary for one MCMC run on one RSU-G."""
+
+    design: str
+    labels: int
+    variables: int
+    iterations: int
+    fill_latency: int
+    variable_latency: int
+    stall_cycles_per_iteration: int
+    total_cycles: int
+
+    @property
+    def throughput_labels_per_cycle(self) -> float:
+        """Steady-state label evaluations per cycle (1.0 when stall-free)."""
+        work = self.labels * self.variables * self.iterations
+        return work / self.total_cycles
+
+
+# Stage counts.  Label decrement is the issue stage (cycle zero), so it
+# adds no latency.  The previous design then has energy computation and
+# the LUT ahead of the multi-cycle RET window, giving the paper's
+# 7 + (M - 1) single-variable latency at a window of 4:
+# 2 + 4 + 1 + (M - 1).
+_LEGACY_FRONT_STAGES = 2  # energy computation, energy-to-intensity LUT
+_SELECT_STAGES = 1
+
+
+def _select_latch_delay(window: int) -> int:
+    """Extra cycle before selection sees a one-cycle window's TTF.
+
+    With a multi-cycle window the TTF is ready before the window's last
+    cycle ends and selection absorbs it that cycle; a single-cycle
+    window completes in its own issue cycle, so the result latches into
+    the selection register one cycle later.
+    """
+    return 1 if window == 1 else 0
+
+
+def legacy_variable_latency(labels: int, config: RSUConfig) -> int:
+    """Cycles from first label issue to selected output, previous design."""
+    if labels < 1:
+        raise ConfigError(f"labels must be >= 1, got {labels}")
+    window = sampling_window_cycles(config)
+    return (
+        _LEGACY_FRONT_STAGES
+        + window
+        + _SELECT_STAGES
+        + _select_latch_delay(window)
+        + (labels - 1)
+    )
+
+
+def new_variable_latency(labels: int, config: RSUConfig) -> int:
+    """Cycles from first label issue to selected output, new design.
+
+    The FIFO decoupling means a variable's labels enter the back end
+    only after all ``M`` energies are enqueued (issue + energy + insert
+    take 3 cycles for the first label, the remaining ``M - 1`` stream
+    in), then the back end drains ``M`` pops through scale-subtract,
+    compare and the RET window: ``2 * labels + window + 3`` total — the
+    cycle-accurate count of :class:`repro.uarch.machines.NewMachine`.
+    """
+    if labels < 1:
+        raise ConfigError(f"labels must be >= 1, got {labels}")
+    window = sampling_window_cycles(config)
+    return 2 * labels + window + 3 + _select_latch_delay(window)
+
+
+def legacy_temperature_stall(config: RSUConfig, interface_bits: int = 8) -> int:
+    """Stall cycles per annealing iteration for the previous design.
+
+    The whole energy-to-intensity LUT (``2**Energy_bits`` entries of
+    ``Lambda_bits``) is rewritten through the external interface while
+    the pipeline is held.
+    """
+    lut_bits = (1 << config.energy_bits) * config.lambda_bits
+    return math.ceil(lut_bits / interface_bits)
+
+
+def new_temperature_stall() -> int:
+    """Stall cycles per iteration for the new design: zero.
+
+    Boundary updates stream into shadow registers (4 transfers over the
+    8-bit interface) concurrently with sampling and swap atomically.
+    """
+    return 0
+
+
+def simulate(
+    design: str,
+    labels: int,
+    variables: int,
+    iterations: int,
+    config: RSUConfig,
+    interface_bits: int = 8,
+) -> PipelineTiming:
+    """Compute total cycles for an MCMC run on a single RSU-G.
+
+    Steady state is one label per cycle for both designs; they differ in
+    fill latency and per-iteration temperature-update stalls.
+    """
+    if design not in ("legacy", "new"):
+        raise ConfigError(f"design must be 'legacy' or 'new', got {design!r}")
+    if variables < 1 or iterations < 1:
+        raise ConfigError("variables and iterations must be >= 1")
+    if design == "legacy":
+        var_latency = legacy_variable_latency(labels, config)
+        stall = legacy_temperature_stall(config, interface_bits)
+    else:
+        var_latency = new_variable_latency(labels, config)
+        stall = new_temperature_stall()
+    fill = var_latency - labels  # pipeline depth beyond the issue stream
+    per_iteration = labels * variables + stall
+    total = fill + per_iteration * iterations
+    return PipelineTiming(
+        design=design,
+        labels=labels,
+        variables=variables,
+        iterations=iterations,
+        fill_latency=fill,
+        variable_latency=var_latency,
+        stall_cycles_per_iteration=stall,
+        total_cycles=total,
+    )

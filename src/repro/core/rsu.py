@@ -1,0 +1,81 @@
+"""RSU-G functional simulators: the new design and the previous one.
+
+These backends replace the float sampling inner loop of the MCMC solver
+with bit-accurate RSU-G semantics: quantize the energy
+(``Energy_bits``), convert it to an integer decay-rate code
+(``Lambda_bits`` with optional scaling / cut-off / 2^n approximation),
+draw a binned exponential TTF (``Time_bits``, ``Truncation``) per
+label, and select the first label to fire.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import SamplerBackend, select_first_to_fire
+from repro.core.convert import lambda_codes
+from repro.core.energy import EnergyStage
+from repro.core.params import RSUConfig, legacy_design_config, new_design_config
+from repro.core.ttf import TTFSampler
+
+
+class RSUGSampler(SamplerBackend):
+    """Functional model of an RSU-G unit with an arbitrary design point.
+
+    Parameters
+    ----------
+    config:
+        The design point to simulate (see :class:`RSUConfig`).
+    energy_full_scale:
+        Raw energy mapping to the top of the ``Energy_bits`` grid;
+        applications derive it from their MRF model's maximum energy.
+    rng:
+        Generator supplying the RET entropy (and random tie-breaks).
+    ttf_sampler:
+        Optional replacement for the RET-circuit stage model, e.g. a
+        :class:`repro.core.nonideal.NoisyTTFSampler` for failure
+        injection.  Defaults to the ideal :class:`TTFSampler`.
+    """
+
+    name = "rsu"
+
+    def __init__(
+        self,
+        config: RSUConfig,
+        energy_full_scale: float,
+        rng: np.random.Generator,
+        ttf_sampler: TTFSampler = None,
+    ):
+        self.config = config
+        self.energy_stage = EnergyStage(config.energy_bits, energy_full_scale)
+        self._ttf = ttf_sampler if ttf_sampler is not None else TTFSampler(config, rng)
+        self._rng = rng
+
+    def codes_for(self, energies: np.ndarray, temperature: float) -> np.ndarray:
+        """Decay-rate codes the unit would use (exposed for analysis)."""
+        quantized = self.energy_stage.quantize(energies)
+        t_grid = self.energy_stage.quantized_temperature(temperature)
+        return lambda_codes(quantized, t_grid, self.config)
+
+    def _sample_batch(self, energies: np.ndarray, temperature: float) -> np.ndarray:
+        codes = self.codes_for(energies, temperature)
+        ttf = self._ttf.sample(codes)
+        return select_first_to_fire(ttf, self.config.tie_policy, self._rng)
+
+
+class NewRSUG(RSUGSampler):
+    """The paper's new design point (Sec. III-D / IV)."""
+
+    name = "new_rsug"
+
+    def __init__(self, energy_full_scale: float, rng: np.random.Generator, **overrides):
+        super().__init__(new_design_config(**overrides), energy_full_scale, rng)
+
+
+class LegacyRSUG(RSUGSampler):
+    """The previously proposed design (Wang et al. 2016 semantics)."""
+
+    name = "prev_rsug"
+
+    def __init__(self, energy_full_scale: float, rng: np.random.Generator, **overrides):
+        super().__init__(legacy_design_config(**overrides), energy_full_scale, rng)

@@ -1,0 +1,106 @@
+"""RET-circuit functional model: binned exponential time-to-fluorescence.
+
+Stage 4 of the RSU-G pipeline illuminates a RET network whose decay
+rate is the selected code times ``lambda0`` and measures the time until
+the SPAD observes a photon (Sec. II-C).  The measurement is quantized
+into ``2**Time_bits`` unit bins; samples beyond the detection window
+are truncated (Sec. III-C3).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.params import RSUConfig
+from repro.util.errors import ConfigError
+
+#: Sentinel bin for "no photon within the window" (TTF = infinity).
+#: One past the clamp bin so timed-out labels lose to every real sample.
+def no_sample_bin(config: RSUConfig) -> int:
+    """Bin value recording a truncated (never-fired) sample."""
+    return config.time_bins + 1
+
+
+def cutoff_bin(config: RSUConfig) -> int:
+    """Bin value for cut-off labels (code 0): beyond even timed-out ones."""
+    return config.time_bins + 2
+
+
+class TTFSampler:
+    """Draws binned TTFs for a matrix of decay-rate codes.
+
+    Parameters
+    ----------
+    config:
+        Design point; uses ``time_bits``, ``truncation`` and
+        ``clamp_to_tmax``.
+    rng:
+        NumPy generator supplying the underlying uniform variates (the
+        model of RET physical entropy).
+    """
+
+    def __init__(self, config: RSUConfig, rng: np.random.Generator):
+        self.config = config
+        self._rng = rng
+
+    def sample(self, codes: np.ndarray) -> np.ndarray:
+        """Return integer TTF bins for integer decay-rate ``codes``.
+
+        A code ``v >= 1`` selects the RET network with per-bin rate
+        ``v * lambda0``; the continuous exponential draw is quantized
+        with ceiling so bin 1 covers (0, 1].  Codes of zero (cut off)
+        return :func:`cutoff_bin`.
+
+        With ``config.float_time`` the continuous draw is returned
+        untruncated (float64) — the idealized IEEE-float time stage.
+        """
+        codes = np.asarray(codes)
+        if np.any(codes < 0):
+            raise ConfigError("decay-rate codes must be non-negative")
+        cfg = self.config
+        rates = codes.astype(np.float64) * cfg.lambda0_per_bin
+        uniforms = self._rng.random(codes.shape)
+        active = codes > 0
+        # Inverse-CDF exponential draw, in units of time bins.
+        with np.errstate(divide="ignore"):
+            continuous = -np.log1p(-uniforms[active]) / rates[active]
+        if cfg.float_time:
+            ttf = np.full(codes.shape, np.inf)
+            ttf[active] = continuous
+            return ttf
+        ttf = np.full(codes.shape, float(cutoff_bin(cfg)))
+        bins = np.ceil(continuous)
+        late = bins > cfg.time_bins
+        if cfg.clamp_to_tmax:
+            bins[late] = cfg.time_bins
+        else:
+            bins[late] = no_sample_bin(cfg)
+        ttf[active] = bins
+        return ttf.astype(np.int64)
+
+    def truncation_probability(self, code: int) -> float:
+        """P(no photon within the window) for a given decay-rate code."""
+        if code < 0:
+            raise ConfigError("code must be non-negative")
+        if code == 0:
+            return 1.0
+        return math.exp(-code * self.config.lambda0_per_bin * self.config.time_bins)
+
+
+def bin_probabilities(code: int, config: RSUConfig) -> np.ndarray:
+    """Exact probability mass over bins ``1..t_max`` plus the overflow bin.
+
+    Analytic counterpart of :meth:`TTFSampler.sample` used by property
+    tests and the entropy model: entry ``t-1`` is
+    ``P(bin == t) = exp(-r(t-1)) - exp(-rt)`` for per-bin rate ``r``,
+    and the final entry is the truncated tail mass.
+    """
+    if code < 1:
+        raise ConfigError("bin_probabilities requires a nonzero code")
+    rate = code * config.lambda0_per_bin
+    edges = np.exp(-rate * np.arange(config.time_bins + 1, dtype=np.float64))
+    mass = edges[:-1] - edges[1:]
+    tail = edges[-1]
+    return np.concatenate([mass, [tail]])

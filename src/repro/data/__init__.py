@@ -1,0 +1,78 @@
+"""Synthetic datasets standing in for Middlebury stereo/flow and BSD300.
+
+See DESIGN.md section 3 for the substitution rationale.  All generators
+are deterministic given their seed, so every experiment is exactly
+reproducible.
+"""
+
+from repro.data.denoise_data import (
+    DenoiseDataset,
+    denoise_cost_volume,
+    level_values,
+    make_denoise_dataset,
+)
+from repro.data.io import read_pgm, to_gray_levels, write_pgm
+from repro.data.motion_data import (
+    FLOW_NAMES,
+    FlowDataset,
+    flow_cost_volume,
+    flow_label_vectors,
+    load_flow,
+    make_flow_dataset,
+)
+from repro.data.segmentation_data import (
+    SegmentationDataset,
+    class_means,
+    load_segmentation_suite,
+    make_segmentation_dataset,
+    segmentation_cost_volume,
+)
+from repro.data.stereo_data import (
+    PAPER_STEREO_NAMES,
+    STEREO_NAMES,
+    StereoDataset,
+    load_stereo,
+    make_stereo_dataset,
+    stereo_cost_volume,
+)
+from repro.data.textures import (
+    add_noise,
+    checker_texture,
+    salt_pepper,
+    smooth_fields,
+    stripe_texture,
+    value_noise,
+)
+
+__all__ = [
+    "DenoiseDataset",
+    "denoise_cost_volume",
+    "level_values",
+    "make_denoise_dataset",
+    "read_pgm",
+    "to_gray_levels",
+    "write_pgm",
+    "FLOW_NAMES",
+    "FlowDataset",
+    "flow_cost_volume",
+    "flow_label_vectors",
+    "load_flow",
+    "make_flow_dataset",
+    "SegmentationDataset",
+    "class_means",
+    "load_segmentation_suite",
+    "make_segmentation_dataset",
+    "segmentation_cost_volume",
+    "PAPER_STEREO_NAMES",
+    "STEREO_NAMES",
+    "StereoDataset",
+    "load_stereo",
+    "make_stereo_dataset",
+    "stereo_cost_volume",
+    "add_noise",
+    "checker_texture",
+    "salt_pepper",
+    "stripe_texture",
+    "smooth_fields",
+    "value_noise",
+]

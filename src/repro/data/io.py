@@ -1,0 +1,49 @@
+"""Image output helpers.
+
+The paper shows disparity maps as gray-level images (Fig. 4, 6, 9b).
+With no imaging libraries available offline, maps are written as plain
+(ASCII) PGM files, viewable by any image tool.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.util.errors import DataError
+
+
+def to_gray_levels(values: np.ndarray, v_max: float = None) -> np.ndarray:
+    """Scale values into 0..255 gray levels (lighter = larger value)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DataError(f"expected a 2-D map, got shape {arr.shape}")
+    top = float(arr.max()) if v_max is None else float(v_max)
+    if top <= 0:
+        return np.zeros(arr.shape, dtype=np.int64)
+    return np.clip(np.rint(arr * (255.0 / top)), 0, 255).astype(np.int64)
+
+
+def write_pgm(path, values: np.ndarray, v_max: float = None) -> Path:
+    """Write a 2-D map as an ASCII PGM (P2) image; returns the path."""
+    gray = to_gray_levels(values, v_max)
+    h, w = gray.shape
+    lines = [f"P2", f"{w} {h}", "255"]
+    lines.extend(" ".join(str(v) for v in row) for row in gray)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text("\n".join(lines) + "\n")
+    return target
+
+
+def read_pgm(path) -> np.ndarray:
+    """Read back an ASCII PGM written by :func:`write_pgm`."""
+    tokens = Path(path).read_text().split()
+    if not tokens or tokens[0] != "P2":
+        raise DataError(f"{path} is not an ASCII PGM file")
+    w, h, _maxval = int(tokens[1]), int(tokens[2]), int(tokens[3])
+    pixels = np.asarray(tokens[4 : 4 + w * h], dtype=np.int64)
+    if pixels.size != w * h:
+        raise DataError(f"{path} is truncated")
+    return pixels.reshape(h, w)

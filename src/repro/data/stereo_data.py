@@ -1,0 +1,282 @@
+"""Synthetic stereo pairs with dense ground-truth disparity.
+
+Substitute for the Middlebury stereo sets (teddy / poster / art), which
+cannot be downloaded in this offline environment.  Each scene is a
+slanted textured background plus textured foreground shapes at larger
+disparities; the right view is produced by forward-warping the left
+view with a z-buffer, which creates genuine occlusions and
+dis-occlusion holes exactly where a real stereo rig would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.data.textures import add_noise, checker_texture, stripe_texture, value_noise
+from repro.util.errors import ConfigError, DataError
+
+
+@dataclass(frozen=True)
+class StereoDataset:
+    """A rectified stereo pair with ground truth.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (e.g. ``"teddy"``).
+    left / right:
+        Grayscale images in [0, 1], shape (H, W).
+    gt_disparity:
+        Integer ground-truth disparity of each left-image pixel.
+    n_labels:
+        Number of disparity labels the solver searches (0..n_labels-1).
+    """
+
+    name: str
+    left: np.ndarray
+    right: np.ndarray
+    gt_disparity: np.ndarray
+    n_labels: int
+
+    def __post_init__(self):
+        if self.left.shape != self.right.shape or self.left.shape != self.gt_disparity.shape:
+            raise DataError("left, right and gt_disparity must share one shape")
+        if self.gt_disparity.max() >= self.n_labels:
+            raise DataError("ground-truth disparity exceeds the label range")
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Image shape (H, W)."""
+        return self.left.shape
+
+
+def _shape_masks(
+    shape: Tuple[int, int], specs: List[tuple]
+) -> List[Tuple[np.ndarray, int]]:
+    """Build (mask, disparity) pairs for foreground shapes.
+
+    Each spec is ``(kind, cy, cx, ry, rx, disparity)`` with centre and
+    radii expressed as fractions of the image size.
+    """
+    h, w = shape
+    rows = np.arange(h)[:, None]
+    cols = np.arange(w)[None, :]
+    masks = []
+    for kind, cy, cx, ry, rx, disparity in specs:
+        center_y, center_x = cy * h, cx * w
+        rad_y, rad_x = max(1.0, ry * h), max(1.0, rx * w)
+        if kind == "ellipse":
+            mask = ((rows - center_y) / rad_y) ** 2 + ((cols - center_x) / rad_x) ** 2 <= 1.0
+        elif kind == "rect":
+            mask = (np.abs(rows - center_y) <= rad_y) & (np.abs(cols - center_x) <= rad_x)
+        else:
+            raise ConfigError(f"unknown shape kind {kind!r}")
+        masks.append((mask, disparity))
+    return masks
+
+
+def _forward_warp(
+    left: np.ndarray, disparity: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Warp the left view into the right view with a z-buffer.
+
+    A left pixel (y, x) with disparity d lands at right-image column
+    x - d.  Writing in increasing-disparity order makes nearer surfaces
+    (larger d) overwrite farther ones — correct occlusion.  Unpainted
+    right pixels (dis-occlusions) are filled with fresh texture noise,
+    modeling content visible only to the right camera.
+    """
+    h, w = left.shape
+    right = np.full((h, w), np.nan)
+    for d in np.sort(np.unique(disparity)):
+        ys, xs = np.nonzero(disparity == d)
+        target = xs - int(d)
+        valid = target >= 0
+        right[ys[valid], target[valid]] = left[ys[valid], xs[valid]]
+    holes = np.isnan(right)
+    if holes.any():
+        filler = value_noise((h, w), rng, octaves=4, base_cells=6)
+        right[holes] = filler[holes]
+    return right
+
+
+def make_stereo_dataset(
+    name: str,
+    shape: Tuple[int, int],
+    n_labels: int,
+    background_range: Tuple[int, int],
+    shape_specs: List[tuple],
+    noise_sigma: float = 0.02,
+    seed: int = 7,
+    texture: str = "noise",
+) -> StereoDataset:
+    """Generate one synthetic stereo dataset.
+
+    Parameters
+    ----------
+    shape:
+        Image shape (H, W).
+    n_labels:
+        Disparity search range; all scene disparities must fit in it.
+    background_range:
+        (near-row, far-row) disparities of the slanted background plane.
+    shape_specs:
+        Foreground shape tuples for :func:`_shape_masks`.
+    texture:
+        Scene texture: ``noise`` (default, rich value noise),
+        ``stripes`` (periodic — harder matching, the "cones"-like
+        preset), or ``checker``.
+    """
+    h, w = shape
+    if n_labels < 2:
+        raise ConfigError(f"n_labels must be >= 2, got {n_labels}")
+    if max(background_range) >= n_labels:
+        raise ConfigError("background disparities must fit within n_labels")
+    rng = np.random.default_rng(seed)
+    # Slanted background: disparity interpolates between the range ends
+    # down the image (floor nearer the camera, like teddy).
+    top_d, bottom_d = background_range
+    ramp = np.linspace(top_d, bottom_d, h)[:, None]
+    disparity = np.broadcast_to(np.rint(ramp), (h, w)).astype(np.int64).copy()
+    for mask, d in _shape_masks(shape, shape_specs):
+        if d >= n_labels:
+            raise ConfigError(f"shape disparity {d} exceeds label range {n_labels}")
+        disparity[mask] = d
+    if texture == "noise":
+        left = value_noise(shape, rng, octaves=5, base_cells=4)
+    elif texture == "stripes":
+        left = stripe_texture(shape, rng)
+    elif texture == "checker":
+        left = checker_texture(shape, rng)
+    else:
+        raise ConfigError(f"unknown texture {texture!r}")
+    # Give each surface a distinct albedo offset so the images look like
+    # objects, not pure noise (helps nothing numerically; aids debugging).
+    for mask, d in _shape_masks(shape, shape_specs):
+        left[mask] = 0.55 * left[mask] + 0.45 * ((d * 37) % 97) / 97.0
+    right = _forward_warp(left, disparity, rng)
+    left = add_noise(left, noise_sigma, rng)
+    right = add_noise(right, noise_sigma, rng)
+    return StereoDataset(
+        name=name,
+        left=left,
+        right=right,
+        gt_disparity=disparity,
+        n_labels=n_labels,
+    )
+
+
+def stereo_cost_volume(dataset: StereoDataset, out_of_range_cost: float = 1.0) -> np.ndarray:
+    """Absolute-difference matching cost, shape (H, W, n_labels).
+
+    ``cost(y, x, d) = |L(y, x) - R(y, x - d)|`` with columns that fall
+    off the image charged the maximum cost (no correspondence exists,
+    as in the paper's occluded regions).
+    """
+    h, w = dataset.shape
+    m = dataset.n_labels
+    cost = np.full((h, w, m), float(out_of_range_cost))
+    for d in range(m):
+        if d >= w:
+            break
+        cost[:, d:, d] = np.abs(dataset.left[:, d:] - dataset.right[:, : w - d])
+    return cost
+
+
+# Preset scene definitions mirroring the paper's three Middlebury picks
+# (label counts match: teddy 56, poster 30, art 28).  ``scale`` shrinks
+# both the image and the disparity range for quick test/bench profiles.
+_PRESETS = {
+    "teddy": dict(
+        shape=(90, 126),
+        n_labels=56,
+        background_range=(4, 18),
+        shapes=[
+            ("ellipse", 0.38, 0.30, 0.20, 0.16, 44),
+            ("rect", 0.62, 0.68, 0.16, 0.14, 34),
+            ("ellipse", 0.25, 0.72, 0.10, 0.12, 50),
+            ("rect", 0.80, 0.30, 0.10, 0.16, 26),
+        ],
+        seed=11,
+    ),
+    "poster": dict(
+        shape=(84, 112),
+        n_labels=30,
+        background_range=(2, 10),
+        shapes=[
+            ("rect", 0.40, 0.36, 0.22, 0.20, 22),
+            ("ellipse", 0.68, 0.70, 0.14, 0.14, 16),
+            ("rect", 0.22, 0.74, 0.10, 0.10, 27),
+        ],
+        seed=13,
+    ),
+    "art": dict(
+        shape=(84, 112),
+        n_labels=28,
+        background_range=(2, 8),
+        shapes=[
+            ("ellipse", 0.35, 0.28, 0.18, 0.10, 24),
+            ("rect", 0.60, 0.55, 0.24, 0.08, 18),
+            ("ellipse", 0.30, 0.78, 0.12, 0.10, 26),
+            ("rect", 0.78, 0.22, 0.08, 0.12, 13),
+        ],
+        seed=17,
+    ),
+}
+
+_PRESETS["cones"] = dict(
+    shape=(84, 112),
+    n_labels=32,
+    background_range=(2, 9),
+    shapes=[
+        ("ellipse", 0.40, 0.30, 0.20, 0.10, 26),
+        ("ellipse", 0.45, 0.55, 0.18, 0.09, 21),
+        ("ellipse", 0.50, 0.78, 0.16, 0.08, 16),
+    ],
+    seed=19,
+    texture="stripes",
+    noise_sigma=0.04,
+)
+
+#: The three datasets the paper evaluates (Sec. III-A).
+PAPER_STEREO_NAMES = ("teddy", "poster", "art")
+#: All available presets, including the harder extras.
+STEREO_NAMES = tuple(_PRESETS)
+
+
+def load_stereo(
+    name: str, scale: float = 1.0, noise_sigma: float = 0.02
+) -> StereoDataset:
+    """Build a preset stereo dataset, optionally scaled down.
+
+    ``scale < 1`` shrinks the image and the disparity range together so
+    quick profiles stay geometrically consistent.  ``noise_sigma``
+    controls the sensor noise; higher values make matching more
+    ambiguous (used by the Fig. 8 timing-sensitivity sweep).
+    """
+    if name not in _PRESETS:
+        raise ConfigError(f"unknown stereo dataset {name!r}; expected one of {STEREO_NAMES}")
+    if not 0.05 < scale <= 1.0:
+        raise ConfigError(f"scale must be in (0.05, 1], got {scale}")
+    preset = _PRESETS[name]
+    h, w = preset["shape"]
+    shape = (max(16, round(h * scale)), max(20, round(w * scale)))
+    n_labels = max(6, round(preset["n_labels"] * scale))
+    bg = tuple(min(n_labels - 1, max(0, round(d * scale))) for d in preset["background_range"])
+    shapes = [
+        (kind, cy, cx, ry, rx, min(n_labels - 1, max(1, round(d * scale))))
+        for kind, cy, cx, ry, rx, d in preset["shapes"]
+    ]
+    return make_stereo_dataset(
+        name=name,
+        shape=shape,
+        n_labels=n_labels,
+        background_range=bg,
+        shape_specs=shapes,
+        noise_sigma=preset.get("noise_sigma", noise_sigma),
+        seed=preset["seed"],
+        texture=preset.get("texture", "noise"),
+    )

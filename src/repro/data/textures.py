@@ -1,0 +1,146 @@
+"""Procedural texture synthesis for the synthetic datasets.
+
+Value noise: random grids at several octaves, bilinearly upsampled and
+summed.  Strong fine-scale texture is what makes stereo/flow matching
+well-posed, mirroring the heavily textured Middlebury scenes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+
+def _bilinear_upsample(grid: np.ndarray, shape: tuple) -> np.ndarray:
+    """Bilinearly resample ``grid`` onto ``shape``."""
+    h, w = shape
+    gh, gw = grid.shape
+    rows = np.linspace(0, gh - 1, h)
+    cols = np.linspace(0, gw - 1, w)
+    r0 = np.floor(rows).astype(np.int64).clip(max=gh - 2) if gh > 1 else np.zeros(h, np.int64)
+    c0 = np.floor(cols).astype(np.int64).clip(max=gw - 2) if gw > 1 else np.zeros(w, np.int64)
+    fr = (rows - r0)[:, None] if gh > 1 else np.zeros((h, 1))
+    fc = (cols - c0)[None, :] if gw > 1 else np.zeros((1, w))
+    r1 = np.minimum(r0 + 1, gh - 1)
+    c1 = np.minimum(c0 + 1, gw - 1)
+    top = grid[np.ix_(r0, c0)] * (1 - fc) + grid[np.ix_(r0, c1)] * fc
+    bottom = grid[np.ix_(r1, c0)] * (1 - fc) + grid[np.ix_(r1, c1)] * fc
+    return top * (1 - fr) + bottom * fr
+
+
+def value_noise(
+    shape: tuple,
+    rng: np.random.Generator,
+    octaves: int = 4,
+    base_cells: int = 4,
+    persistence: float = 0.55,
+) -> np.ndarray:
+    """Multi-octave value noise normalized to [0, 1].
+
+    Parameters
+    ----------
+    shape:
+        Output (H, W).
+    octaves:
+        Number of frequency octaves; each doubles the cell count.
+    base_cells:
+        Cells along the short edge at the coarsest octave.
+    persistence:
+        Amplitude falloff per octave (< 1 keeps coarse structure
+        dominant; fine octaves add matchable detail).
+    """
+    h, w = shape
+    if h < 2 or w < 2:
+        raise ConfigError(f"shape must be at least 2x2, got {shape}")
+    if octaves < 1:
+        raise ConfigError(f"octaves must be >= 1, got {octaves}")
+    out = np.zeros(shape, dtype=np.float64)
+    amplitude = 1.0
+    for octave in range(octaves):
+        cells = base_cells * (1 << octave)
+        gh = max(2, round(cells * h / min(h, w)))
+        gw = max(2, round(cells * w / min(h, w)))
+        grid = rng.random((gh, gw))
+        out += amplitude * _bilinear_upsample(grid, shape)
+        amplitude *= persistence
+    out -= out.min()
+    peak = out.max()
+    if peak > 0:
+        out /= peak
+    return out
+
+
+def smooth_fields(
+    shape: tuple, count: int, rng: np.random.Generator, base_cells: int = 3
+) -> np.ndarray:
+    """Stack of ``count`` independent smooth random fields, shape (count, H, W).
+
+    The segmentation generator takes the argmax over these to carve the
+    grid into organic regions.
+    """
+    if count < 1:
+        raise ConfigError(f"count must be >= 1, got {count}")
+    return np.stack(
+        [value_noise(shape, rng, octaves=2, base_cells=base_cells) for _ in range(count)]
+    )
+
+
+def add_noise(image: np.ndarray, sigma: float, rng: np.random.Generator) -> np.ndarray:
+    """Add Gaussian sensor noise and clip back to [0, 1]."""
+    if sigma < 0:
+        raise ConfigError(f"sigma must be >= 0, got {sigma}")
+    noisy = np.asarray(image, dtype=np.float64) + rng.normal(0.0, sigma, np.shape(image))
+    return np.clip(noisy, 0.0, 1.0)
+
+
+def stripe_texture(
+    shape: tuple,
+    rng: np.random.Generator,
+    period: float = 9.0,
+    angle: float = 0.3,
+    contrast: float = 0.5,
+) -> np.ndarray:
+    """Sinusoidal stripes blended over value noise.
+
+    Periodic structure creates the repetitive-texture matching
+    ambiguity real stereo scenes exhibit (the "hard" presets use it).
+    """
+    if period <= 1:
+        raise ConfigError(f"period must be > 1, got {period}")
+    if not 0.0 <= contrast <= 1.0:
+        raise ConfigError(f"contrast must be in [0, 1], got {contrast}")
+    h, w = shape
+    rows = np.arange(h)[:, None]
+    cols = np.arange(w)[None, :]
+    phase = 2.0 * np.pi * (cols * np.cos(angle) + rows * np.sin(angle)) / period
+    stripes = 0.5 + 0.5 * np.sin(phase)
+    base = value_noise(shape, rng, octaves=4, base_cells=4)
+    return np.clip((1.0 - contrast) * base + contrast * stripes, 0.0, 1.0)
+
+
+def checker_texture(
+    shape: tuple, rng: np.random.Generator, cell: int = 6, jitter: float = 0.15
+) -> np.ndarray:
+    """Checkerboard blocks with per-cell brightness jitter."""
+    if cell < 1:
+        raise ConfigError(f"cell must be >= 1, got {cell}")
+    h, w = shape
+    rows = np.arange(h)[:, None] // cell
+    cols = np.arange(w)[None, :] // cell
+    parity = ((rows + cols) % 2).astype(np.float64)
+    bright = rng.random(((h + cell - 1) // cell, (w + cell - 1) // cell))
+    per_cell = bright[rows, cols]
+    return np.clip(0.25 + 0.5 * parity + jitter * (per_cell - 0.5), 0.0, 1.0)
+
+
+def salt_pepper(
+    image: np.ndarray, fraction: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Replace a fraction of pixels with 0 or 1 outliers."""
+    if not 0.0 <= fraction < 1.0:
+        raise ConfigError(f"fraction must be in [0, 1), got {fraction}")
+    out = np.asarray(image, dtype=np.float64).copy()
+    hits = rng.random(out.shape) < fraction
+    out[hits] = rng.choice([0.0, 1.0], size=int(hits.sum()))
+    return out

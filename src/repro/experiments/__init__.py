@@ -1,0 +1,22 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+``rsu-experiments run all --profile quick`` regenerates the whole
+evaluation in minutes; ``--profile full`` runs paper-scale workloads.
+See DESIGN.md for the experiment index.
+"""
+
+from repro.experiments.profiles import FULL, PROFILES, QUICK, Profile, get_profile
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from repro.experiments.result import ExperimentResult
+
+__all__ = [
+    "FULL",
+    "PROFILES",
+    "QUICK",
+    "Profile",
+    "get_profile",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "run_experiment",
+    "ExperimentResult",
+]

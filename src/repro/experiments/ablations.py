@@ -1,0 +1,68 @@
+"""Ablation table: each new-design technique removed in isolation.
+
+One artifact summarizing Sec. IV-A's qualitative trade-off discussion:
+stereo quality (BP%) and the associated hardware quantities for the
+full design and for each single-technique ablation — decay-rate
+scaling, probability cut-off, 2^n approximation, unbiased ties — plus
+the previous design as the baseline.
+"""
+
+from __future__ import annotations
+
+from repro.apps.stereo import solve_stereo
+from repro.core.params import RSUConfig, legacy_design_config, new_design_config
+from repro.core.pipeline import ret_circuit_replicas, ret_network_replicas
+from repro.data.stereo_data import load_stereo
+from repro.experiments.common import stereo_params
+from repro.experiments.profiles import FULL, Profile
+from repro.experiments.result import ExperimentResult
+
+#: Ablation name -> design point.
+def ablation_points() -> dict:
+    """The design points of the ablation table."""
+    new = new_design_config()
+    return {
+        "full new design": new,
+        "no decay-rate scaling": new.with_(scaling=False),
+        "no probability cut-off": new.with_(cutoff=False),
+        "no 2^n approximation": new.with_(pow2_lambda=False),
+        "deterministic ties": new.with_(tie_policy="first"),
+        "previous design": legacy_design_config(),
+    }
+
+
+def hardware_columns(config: RSUConfig) -> tuple:
+    """(unique rates, circuit replicas, network replicas) of a point."""
+    return (
+        config.unique_lambdas,
+        ret_circuit_replicas(config),
+        ret_network_replicas(config),
+    )
+
+
+def run(profile: Profile = FULL, seed: int = 3) -> ExperimentResult:
+    """Run the ablation table on the poster dataset."""
+    dataset = load_stereo("poster", scale=profile.sweep_scale)
+    params = stereo_params(profile, iterations=profile.sweep_iterations)
+    rows = []
+    for name, config in ablation_points().items():
+        result = solve_stereo(dataset, "rsu", params, rsu_config=config, seed=seed)
+        unique, circuits, networks = hardware_columns(config)
+        rows.append([name, result.bad_pixel, unique, circuits, networks])
+    return ExperimentResult(
+        experiment_id="ablations",
+        title="Single-technique ablations: stereo BP% and hardware cost",
+        columns=[
+            "design point",
+            "BP%",
+            "unique lambdas",
+            "RET-circuit replicas",
+            "RET-network replicas",
+        ],
+        rows=rows,
+        notes=[
+            "Removing scaling or cut-off (or using deterministic ties)"
+            " degrades quality; removing 2^n costs quality nothing but"
+            " doubles the unique decay rates the RET circuit must realize.",
+        ],
+    )

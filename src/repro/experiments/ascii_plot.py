@@ -1,0 +1,136 @@
+"""Plain-text chart rendering for experiment results.
+
+No plotting libraries are available offline, so figures render as
+ASCII: line charts for series sweeps (Figs. 5, 7) and shaded grids for
+heatmaps (Fig. 8).  Used by the CLI's ``--chart`` flag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.util.errors import ConfigError
+
+#: Shade ramp from low to high values.
+SHADES = " .:-=+*#%@"
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    if high <= low:
+        return 0
+    fraction = (value - low) / (high - low)
+    return min(steps - 1, max(0, int(round(fraction * (steps - 1)))))
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Render one or more series as an ASCII line chart.
+
+    Each series gets a marker (its name's first letter, upper-cased per
+    series order collisions resolved by digits).
+    """
+    if not series:
+        raise ConfigError("series must be non-empty")
+    lengths = {len(v) for v in series.values()}
+    if lengths != {len(x_values)} or len(x_values) < 2:
+        raise ConfigError("all series must match x_values with length >= 2")
+    values = [v for vs in series.values() for v in vs]
+    low, high = min(values), max(values)
+    grid = [[" "] * width for _ in range(height)]
+    markers = _markers(list(series))
+    for name, ys in series.items():
+        marker = markers[name]
+        for i, y in enumerate(ys):
+            col = _scale(i, 0, len(x_values) - 1, width)
+            row = height - 1 - _scale(y, low, high, height)
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{high:10.3f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{low:10.3f} ┤" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"{x_values[0]:<10g}" + " " * max(0, width - 20) + f"{x_values[-1]:>8g}"
+    )
+    legend = "  ".join(f"{markers[name]}={name}" for name in series)
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def _markers(names: List[str]) -> Dict[str, str]:
+    markers = {}
+    used = set()
+    for index, name in enumerate(names):
+        candidate = name[:1].upper() or "?"
+        if candidate in used:
+            candidate = str(index % 10)
+        used.add(candidate)
+        markers[name] = candidate
+    return markers
+
+
+def heatmap(
+    row_labels: Sequence,
+    col_labels: Sequence,
+    cells: Sequence[Sequence[float]],
+    title: str = "",
+    invert: bool = False,
+) -> str:
+    """Render a matrix as a shaded ASCII grid.
+
+    ``invert=True`` maps low values to dark shades (useful when low is
+    good, as with BP: the paper's Fig. 8 shades high BP dark).
+    """
+    rows = [list(r) for r in cells]
+    if not rows or any(len(r) != len(col_labels) for r in rows):
+        raise ConfigError("cells must be rectangular and match col_labels")
+    if len(rows) != len(row_labels):
+        raise ConfigError("cells must match row_labels")
+    flat = [v for row in rows for v in row]
+    low, high = min(flat), max(flat)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "          " + " ".join(f"{c!s:>6}" for c in col_labels)
+    lines.append(header)
+    for label, row in zip(row_labels, rows):
+        shades = []
+        for value in row:
+            level = _scale(value, low, high, len(SHADES))
+            if invert:
+                level = len(SHADES) - 1 - level
+            shades.append(SHADES[level] * 6)
+        lines.append(f"{label!s:>8}  " + " ".join(shades))
+    lines.append(f"(shade range: {low:.2f} .. {high:.2f})")
+    return "\n".join(lines)
+
+
+def chart_for_result(result) -> str:
+    """Best-effort chart for an ExperimentResult; '' when none applies."""
+    extra = result.extra
+    if "heatmap" in extra:
+        grid = extra["heatmap"]
+        row_labels = list(grid)
+        col_labels = list(next(iter(grid.values())))
+        cells = [[grid[r][c] for c in col_labels] for r in row_labels]
+        return heatmap(
+            row_labels, col_labels, cells, title=result.title, invert=True
+        )
+    if "series" in extra:
+        series = extra["series"]
+        length = min(len(values) for values in series.values())
+        x_values = [row[0] for row in result.rows[:length]]
+        if any(not isinstance(x, (int, float)) for x in x_values):
+            x_values = list(range(length))
+        try:
+            return line_chart(x_values, series, title=result.title)
+        except ConfigError:
+            return ""
+    return ""

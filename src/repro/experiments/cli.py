@@ -1,0 +1,103 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    rsu-experiments list
+    rsu-experiments run fig3 [--profile quick|full] [--seed N] [--json PATH]
+    rsu-experiments run all  [--profile quick|full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import experiment_ids, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="rsu-experiments",
+        description="Reproduce the tables and figures of the ISCA 2018 RSU-G paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiment ids")
+    runner = sub.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument("experiment", help="experiment id (fig3..fig9, table1..table4, all)")
+    runner.add_argument("--profile", default="full", choices=("full", "quick"))
+    runner.add_argument("--seed", type=int, default=3)
+    runner.add_argument("--json", default=None, help="also write the result as JSON")
+    runner.add_argument("--chart", action="store_true", help="render an ASCII chart when the result has series/heatmap data")
+    sweeper = sub.add_parser(
+        "sweep", help="solve one app across a series of design points"
+    )
+    sweeper.add_argument("--param", required=True, help="RSUConfig field to sweep")
+    sweeper.add_argument("--values", required=True, help="comma-separated values")
+    sweeper.add_argument("--app", default="stereo",
+                         choices=("stereo", "motion", "segmentation", "denoise"))
+    sweeper.add_argument("--profile", default="quick", choices=("full", "quick"))
+    sweeper.add_argument("--seed", type=int, default=3)
+    sweeper.add_argument("--chart", action="store_true")
+    reporter = sub.add_parser(
+        "report", help="run every experiment and write one markdown report"
+    )
+    reporter.add_argument("--profile", default="quick", choices=("full", "quick"))
+    reporter.add_argument("--seed", type=int, default=3)
+    reporter.add_argument("-o", "--output", default="report.md")
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        generate_report(profile=args.profile, seed=args.seed, output_path=args.output)
+        print(f"report written to {args.output}")
+        return 0
+    if args.command == "sweep":
+        from repro.experiments.profiles import get_profile
+        from repro.experiments.sweep import parse_values, run_sweep
+
+        values = parse_values(args.param, args.values)
+        result = run_sweep(
+            args.param, values, app=args.app,
+            profile=get_profile(args.profile), seed=args.seed,
+        )
+        print(result.to_text())
+        if args.chart:
+            from repro.experiments.ascii_plot import chart_for_result
+
+            chart = chart_for_result(result)
+            if chart:
+                print()
+                print(chart)
+        return 0
+    targets = experiment_ids() if args.experiment == "all" else [args.experiment]
+    for experiment_id in targets:
+        started = time.time()
+        result = run_experiment(experiment_id, profile=args.profile, seed=args.seed)
+        print(result.to_text())
+        if args.chart:
+            from repro.experiments.ascii_plot import chart_for_result
+
+            chart = chart_for_result(result)
+            if chart:
+                print()
+                print(chart)
+        print(f"({experiment_id} finished in {time.time() - started:.1f}s)\n")
+        if args.json:
+            path = args.json if len(targets) == 1 else f"{args.json}.{experiment_id}.json"
+            result.to_json(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

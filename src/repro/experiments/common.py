@@ -1,0 +1,64 @@
+"""Shared plumbing for the experiment modules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.apps.stereo import StereoParams, StereoResult, solve_stereo
+from repro.core.params import RSUConfig
+from repro.data.stereo_data import PAPER_STEREO_NAMES, StereoDataset, load_stereo
+from repro.experiments.profiles import Profile
+
+#: Where experiment image artifacts (PGM maps) are written.
+DEFAULT_ARTIFACT_DIR = Path("artifacts")
+
+
+def stereo_params(profile: Profile, iterations: Optional[int] = None) -> StereoParams:
+    """Stereo solver parameters for a profile."""
+    return StereoParams(iterations=iterations or profile.stereo_iterations)
+
+
+def load_stereo_suite(profile: Profile, sweep: bool = False) -> List[StereoDataset]:
+    """The three stereo datasets at the profile's scale.
+
+    ``sweep=True`` selects the smaller sweep scale used by
+    many-configuration experiments (Fig. 5, Fig. 8).
+    """
+    scale = profile.sweep_scale if sweep else profile.stereo_scale
+    return [load_stereo(name, scale=scale) for name in PAPER_STEREO_NAMES]
+
+
+def run_stereo_backends(
+    datasets: Iterable[StereoDataset],
+    backends: Dict[str, Optional[RSUConfig]],
+    params: StereoParams,
+    seed: int = 3,
+) -> Dict[str, Dict[str, StereoResult]]:
+    """Solve every dataset with every backend.
+
+    ``backends`` maps a display name to either None (named backend kind
+    equal to the display name) or an :class:`RSUConfig` (run through the
+    generic ``rsu`` backend).
+
+    Returns ``results[backend_name][dataset_name]``.
+    """
+    results: Dict[str, Dict[str, StereoResult]] = {}
+    for backend_name, config in backends.items():
+        per_dataset = {}
+        for dataset in datasets:
+            if config is None:
+                result = solve_stereo(dataset, backend_name, params, seed=seed)
+            else:
+                result = solve_stereo(
+                    dataset, "rsu", params, rsu_config=config, seed=seed
+                )
+            per_dataset[dataset.name] = result
+        results[backend_name] = per_dataset
+    return results
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean of a non-empty iterable."""
+    items = list(values)
+    return sum(items) / len(items)

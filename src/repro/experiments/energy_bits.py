@@ -1,0 +1,73 @@
+"""Sec. III-C1 — energy-computation precision sweep.
+
+The paper's first sequential step: with the decay rate and time stages
+idealized (IEEE float), sweep ``Energy_bits`` and confirm that 8 bits
+matches software quality while fewer bits degrade it ("BP ... 27.0% vs
+27.1%, 12.6% vs 13.3%, 27.3% vs 30.3%" for 8-bit vs float).
+"""
+
+from __future__ import annotations
+
+from repro.apps.stereo import solve_stereo
+from repro.core.params import RSUConfig
+from repro.experiments.common import (
+    load_stereo_suite,
+    mean,
+    run_stereo_backends,
+    stereo_params,
+)
+from repro.experiments.profiles import FULL, Profile
+from repro.experiments.result import ExperimentResult
+
+#: Precisions swept (the paper reports 8 suffices, fewer degrades).
+ENERGY_BITS_RANGE = (2, 3, 4, 6, 8, 10)
+
+
+def energy_only_config(energy_bits: int) -> RSUConfig:
+    """Quantized energy stage; idealized conversion and timing.
+
+    ``lambda_scale_exponent`` is raised so the integer lambda grid is
+    effectively continuous, isolating the energy quantization exactly
+    as the paper's methodology does.
+    """
+    return RSUConfig(
+        energy_bits=energy_bits,
+        lambda_bits=12,
+        lambda_scale_exponent=11,
+        pow2_lambda=False,
+        float_time=True,
+    )
+
+
+def run(profile: Profile = FULL, seed: int = 3) -> ExperimentResult:
+    """Run the Energy_bits sweep on the three stereo datasets."""
+    datasets = load_stereo_suite(profile, sweep=True)
+    params = stereo_params(profile, iterations=profile.sweep_iterations)
+    software = run_stereo_backends(datasets, {"software": None}, params, seed=seed)
+    rows = []
+    series = []
+    for bits in ENERGY_BITS_RANGE:
+        config = energy_only_config(bits)
+        bps = [
+            solve_stereo(ds, "rsu", params, rsu_config=config, seed=seed).bad_pixel
+            for ds in datasets
+        ]
+        rows.append([bits] + bps + [mean(bps)])
+        series.append(mean(bps))
+    software_bps = [software["software"][ds.name].bad_pixel for ds in datasets]
+    rows.append(["float (software)"] + software_bps + [mean(software_bps)])
+    return ExperimentResult(
+        experiment_id="energy_bits",
+        title="BP% vs Energy_bits (idealized lambda/time stages)",
+        columns=["Energy_bits"] + [ds.name for ds in datasets] + ["average"],
+        rows=rows,
+        notes=[
+            "Paper (Sec. III-C1): 8-bit energy matches software; fewer"
+            " bits significantly degrade quality.",
+            "On the synthetic scenes the collapse threshold sits lower"
+            " (~3-4 bits) than on Middlebury: their matching costs are"
+            " better separated, so coarser grids still rank labels"
+            " correctly. 8 bits is comfortably sufficient in both.",
+        ],
+        extra={"series": {"avg BP": series}},
+    )

@@ -1,0 +1,106 @@
+"""Fig. 5 — result quality vs exponential decay-rate precision.
+
+Fig. 5a sweeps ``Lambda_bits`` for five conversion variants with an
+idealized (IEEE-float) time stage, exactly the paper's sequential
+methodology:
+
+* ``int_lambda_prev_RSUG`` — integer lambda, no scaling, no cut-off;
+* ``int_lambda_scaled`` — decay-rate scaling only;
+* ``cutoff_no_scaling`` — cut-off without scaling (the failure case the
+  paper calls out: everything is cut off early in annealing);
+* ``scaled_with_cutoff`` — scaling + cut-off;
+* ``scaled_cutoff_pow2`` — scaling + cut-off + 2^n approximation.
+
+Fig. 5b reports per-dataset BP at ``Lambda_bits = 4`` for the full
+technique stack against the software baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.apps.stereo import solve_stereo
+from repro.core.params import RSUConfig
+from repro.experiments.common import (
+    load_stereo_suite,
+    mean,
+    run_stereo_backends,
+    stereo_params,
+)
+from repro.experiments.profiles import FULL, Profile
+from repro.experiments.result import ExperimentResult
+
+#: The conversion variants of Fig. 5a: name -> (scaling, cutoff, pow2).
+VARIANTS: Dict[str, Tuple[bool, bool, bool]] = {
+    "int_lambda_prev_RSUG": (False, False, False),
+    "int_lambda_scaled": (True, False, False),
+    "cutoff_no_scaling": (False, True, False),
+    "scaled_with_cutoff": (True, True, False),
+    "scaled_cutoff_pow2": (True, True, True),
+}
+
+
+def variant_config(name: str, lambda_bits: int) -> RSUConfig:
+    """Design point for one Fig. 5a line at one precision."""
+    scaling, cutoff, pow2 = VARIANTS[name]
+    return RSUConfig(
+        energy_bits=8,
+        lambda_bits=lambda_bits,
+        scaling=scaling,
+        cutoff=cutoff,
+        pow2_lambda=pow2,
+        float_time=True,
+    )
+
+
+def run(
+    profile: Profile = FULL,
+    seed: int = 3,
+    lambda_bits_range: tuple = (3, 4, 5, 6, 7),
+) -> ExperimentResult:
+    """Run Fig. 5a/5b: average BP per variant per Lambda_bits."""
+    datasets = load_stereo_suite(profile, sweep=True)
+    params = stereo_params(profile, iterations=profile.sweep_iterations)
+    if profile.name == "quick":
+        lambda_bits_range = tuple(b for b in lambda_bits_range if b <= 5)
+    software = run_stereo_backends(datasets, {"software": None}, params, seed=seed)
+    software_avg = mean(r.bad_pixel for r in software["software"].values())
+
+    rows = []
+    series: Dict[str, list] = {name: [] for name in VARIANTS}
+    for bits in lambda_bits_range:
+        row = [bits]
+        for name in VARIANTS:
+            config = variant_config(name, bits)
+            bps = [
+                solve_stereo(ds, "rsu", params, rsu_config=config, seed=seed).bad_pixel
+                for ds in datasets
+            ]
+            avg = mean(bps)
+            series[name].append(avg)
+            row.append(avg)
+        rows.append(row)
+
+    fig5b_rows = []
+    config_4bit = variant_config("scaled_cutoff_pow2", 4)
+    for dataset in datasets:
+        rsu = solve_stereo(dataset, "rsu", params, rsu_config=config_4bit, seed=seed)
+        sw = software["software"][dataset.name]
+        fig5b_rows.append((dataset.name, sw.bad_pixel, rsu.bad_pixel))
+
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="BP%% vs Lambda_bits for conversion variants (avg of 3 datasets)",
+        columns=["Lambda_bits"] + list(VARIANTS),
+        rows=rows,
+        notes=[
+            f"software-only average BP: {software_avg:.1f}%",
+            "fig5b (per-dataset, Lambda_bits=4, full techniques): "
+            + ", ".join(
+                f"{name}: sw={sw:.1f}% rsu={rsu:.1f}%" for name, sw, rsu in fig5b_rows
+            ),
+            "Expected shape: prev/unscaled variants stay high; scaling+cutoff"
+            " reaches software-level BP by 3-4 bits; 2^n costs nothing.",
+        ],
+        extra={"series": series, "fig5b": fig5b_rows, "software_avg": software_avg},
+    )

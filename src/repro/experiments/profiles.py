@@ -1,0 +1,100 @@
+"""Execution profiles: quick (tests/benchmarks) vs full (paper-scale).
+
+Every experiment accepts a :class:`Profile`.  ``full`` runs the
+paper-scale synthetic datasets; ``quick`` shrinks images, label counts
+and iteration budgets so the whole suite finishes in minutes while
+keeping every code path identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Workload sizes for experiment runs."""
+
+    name: str
+    stereo_scale: float
+    stereo_iterations: int
+    sweep_scale: float  # scale for many-configuration sweeps (fig5/fig8)
+    sweep_iterations: int
+    motion_scale: float
+    motion_iterations: int
+    seg_images: int
+    seg_shape: tuple
+    seg_iterations: int
+    fig7_samples: int
+    fig8_time_bits: tuple
+    fig8_truncations: tuple
+    seeds: int = 1
+
+    def __post_init__(self):
+        if not 0.05 < self.stereo_scale <= 1.0 or not 0.05 < self.sweep_scale <= 1.0:
+            raise ConfigError("scales must be in (0.05, 1]")
+        for field_name in (
+            "stereo_iterations",
+            "sweep_iterations",
+            "motion_iterations",
+            "seg_images",
+            "seg_iterations",
+            "fig7_samples",
+            "seeds",
+        ):
+            if getattr(self, field_name) < 1:
+                raise ConfigError(f"{field_name} must be >= 1")
+
+    def with_(self, **changes) -> "Profile":
+        """Copy with fields replaced."""
+        return replace(self, **changes)
+
+
+#: Paper-scale profile.  Iteration budgets are below the paper's
+#: 500-1000 because the synthetic scenes converge faster; DESIGN.md
+#: section 3 records the substitution.
+FULL = Profile(
+    name="full",
+    stereo_scale=1.0,
+    stereo_iterations=400,
+    sweep_scale=0.6,
+    sweep_iterations=250,
+    motion_scale=1.0,
+    motion_iterations=200,
+    seg_images=30,
+    seg_shape=(48, 64),
+    seg_iterations=30,
+    fig7_samples=1_000_000,
+    fig8_time_bits=(3, 4, 5, 6, 7, 8),
+    fig8_truncations=(0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8),
+    seeds=1,
+)
+
+#: Minutes-scale profile used by the test and benchmark suites.
+QUICK = Profile(
+    name="quick",
+    stereo_scale=0.35,
+    stereo_iterations=80,
+    sweep_scale=0.3,
+    sweep_iterations=60,
+    motion_scale=0.5,
+    motion_iterations=60,
+    seg_images=6,
+    seg_shape=(32, 44),
+    seg_iterations=12,
+    fig7_samples=30_000,
+    fig8_time_bits=(3, 5, 7),
+    fig8_truncations=(0.01, 0.1, 0.5, 0.8),
+    seeds=1,
+)
+
+PROFILES = {"full": FULL, "quick": QUICK}
+
+
+def get_profile(name: str) -> Profile:
+    """Look up a profile by name."""
+    if name not in PROFILES:
+        raise ConfigError(f"unknown profile {name!r}; expected one of {tuple(PROFILES)}")
+    return PROFILES[name]

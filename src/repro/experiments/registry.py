@@ -1,0 +1,63 @@
+"""Experiment registry: id -> runner.
+
+Each runner takes ``(profile, seed)`` keyword arguments and returns an
+:class:`~repro.experiments.result.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    energy_bits,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    quality_vs_time,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.profiles import Profile, get_profile
+from repro.experiments.result import ExperimentResult
+from repro.util.errors import ConfigError
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "quality_vs_time": quality_vs_time.run,
+    "ablations": ablations.run,
+    "energy_bits": energy_bits.run,
+}
+
+
+def run_experiment(
+    experiment_id: str, profile: str = "full", seed: int = 3
+) -> ExperimentResult:
+    """Run one experiment by id under a named profile."""
+    if experiment_id not in EXPERIMENTS:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; expected one of {sorted(EXPERIMENTS)}"
+        )
+    prof: Profile = get_profile(profile)
+    return EXPERIMENTS[experiment_id](profile=prof, seed=seed)
+
+
+def experiment_ids() -> list:
+    """All registered experiment ids in paper order."""
+    return list(EXPERIMENTS)

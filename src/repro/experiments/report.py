@@ -1,0 +1,101 @@
+"""One-shot report generator: every experiment into a single markdown file.
+
+``rsu-experiments report --profile quick -o report.md`` runs the whole
+registry, renders each result as a markdown table (with ASCII charts
+for series/heatmap results), prepends a hardware summary, and writes
+one self-contained document — the machine-generated counterpart of
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.ascii_plot import chart_for_result
+from repro.experiments.registry import experiment_ids, run_experiment
+from repro.experiments.result import ExperimentResult
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """Render one result as a markdown section."""
+    lines = [f"## {result.experiment_id} — {result.title}", ""]
+    header = "| " + " | ".join(str(c) for c in result.columns) + " |"
+    divider = "|" + "|".join("---" for _ in result.columns) + "|"
+    lines += [header, divider]
+    for row in result.rows:
+        cells = [f"{v:.3f}" if isinstance(v, float) else str(v) for v in row]
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    for note in result.notes:
+        lines.append(f"*{note}*")
+        lines.append("")
+    chart = chart_for_result(result)
+    if chart:
+        lines += ["```", chart, "```", ""]
+    for artifact in result.artifacts:
+        lines.append(f"- artifact: `{artifact}`")
+    if result.artifacts:
+        lines.append("")
+    return "\n".join(lines)
+
+
+def hardware_summary() -> str:
+    """Markdown summary of the design point's physical/cost figures."""
+    from repro.core.params import new_design_config
+    from repro.hw.area_power import new_rsu_breakdown, power_ratio_new_vs_legacy
+    from repro.hw.calibration import summarize
+    from repro.hw.efficiency import efficiency_table
+
+    config = new_design_config()
+    physical = summarize(config)
+    total = new_rsu_breakdown()["RSU Total"]
+    lines = [
+        "## Design point summary",
+        "",
+        f"- new RSU-G: {total.area_um2:.0f} um^2, {total.power_mw:.2f} mW"
+        f" ({power_ratio_new_vs_legacy():.2f}x the previous design's power"
+        f" at equal area)",
+        f"- physical: {physical['bin_ps']:.0f} ps bins,"
+        f" {physical['window_ns']:.1f} ns window,"
+        f" lambda0 = {physical['lambda0_mhz']:.0f} MHz,"
+        f" {physical['concentrations']} concentrations",
+    ]
+    for name, row in efficiency_table().items():
+        lines.append(
+            f"- {name}: {row.power_mw:.1f} mW at {row.entropy_gbps:.2f} Gb/s"
+            f" -> {row.mw_per_gbps:.2f} mW/Gbps"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate_report(
+    profile: str = "quick",
+    seed: int = 3,
+    experiments: Optional[List[str]] = None,
+    output_path: Optional[str] = None,
+) -> str:
+    """Run the registry and return (and optionally write) the report."""
+    targets = experiments if experiments is not None else experiment_ids()
+    sections = [
+        "# RSU-G reproduction report",
+        "",
+        f"Profile: `{profile}`, seed {seed}. See EXPERIMENTS.md for the"
+        " curated paper-vs-measured discussion.",
+        "",
+        hardware_summary(),
+    ]
+    for experiment_id in targets:
+        started = time.time()
+        result = run_experiment(experiment_id, profile=profile, seed=seed)
+        sections.append(result_to_markdown(result))
+        sections.append(f"_(ran in {time.time() - started:.1f}s)_")
+        sections.append("")
+    text = "\n".join(sections)
+    if output_path is not None:
+        target = Path(output_path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text)
+    return text

@@ -1,0 +1,83 @@
+"""Experiment result container and text rendering.
+
+Every experiment module returns an :class:`ExperimentResult` holding a
+tabular payload (the rows/series the paper's table or figure reports),
+free-form notes, and any image artifacts written to disk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one reproduced table or figure."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[list]
+    notes: List[str] = field(default_factory=list)
+    artifacts: List[str] = field(default_factory=list)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ConfigError(
+                    f"row {row!r} does not match columns {self.columns!r}"
+                )
+
+    def to_text(self) -> str:
+        """Render as an aligned plain-text table with notes."""
+        cells = [[_fmt(c) for c in self.columns]]
+        cells += [[_fmt(value) for value in row] for row in self.rows]
+        widths = [max(len(r[i]) for r in cells) for i in range(len(self.columns))]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for idx, row in enumerate(cells):
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+            if idx == 0:
+                lines.append("  ".join("-" * widths[i] for i in range(len(widths))))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        for artifact in self.artifacts:
+            lines.append(f"artifact: {artifact}")
+        return "\n".join(lines)
+
+    def to_json(self, path: Optional[str] = None) -> str:
+        """Serialize to JSON; optionally also write to ``path``."""
+        payload = {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows,
+            "notes": self.notes,
+            "artifacts": self.artifacts,
+            "extra": {k: _jsonable(v) for k, v in self.extra.items()},
+        }
+        text = json.dumps(payload, indent=2)
+        if path is not None:
+            target = Path(path)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(text)
+        return text
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _jsonable(value):
+    try:
+        json.dumps(value)
+        return value
+    except TypeError:
+        return str(value)

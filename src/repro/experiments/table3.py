@@ -1,0 +1,39 @@
+"""Table III — new RSU-G area and power consumption."""
+
+from __future__ import annotations
+
+from repro.experiments.profiles import FULL, Profile
+from repro.experiments.result import ExperimentResult
+from repro.hw.area_power import (
+    legacy_rsu_breakdown,
+    new_rsu_breakdown,
+    power_ratio_new_vs_legacy,
+)
+
+#: Paper's Table III values.
+PAPER_TABLE3 = {
+    "RET Circuit": (1120.0, 0.08),
+    "CMOS Circuitry": (1128.0, 3.49),
+    "LUT": (655.0, 1.42),
+    "RSU Total": (2903.0, 4.99),
+}
+
+
+def run(profile: Profile = FULL, seed: int = 0) -> ExperimentResult:
+    """Run Table III: component breakdown vs paper."""
+    breakdown = new_rsu_breakdown()
+    rows = []
+    for name, cost in breakdown.items():
+        paper_area, paper_power = PAPER_TABLE3[name]
+        rows.append([name, cost.area_um2, cost.power_mw, paper_area, paper_power])
+    legacy = legacy_rsu_breakdown()["RSU Total"]
+    return ExperimentResult(
+        experiment_id="table3",
+        title="New RSU-G area (um^2) and power (mW)",
+        columns=["component", "area", "power", "paper area", "paper power"],
+        rows=rows,
+        notes=[
+            f"Previous design total: {legacy.area_um2:.0f} um^2, {legacy.power_mw:.2f} mW"
+            f" -> power ratio {power_ratio_new_vs_legacy():.2f}x (paper: 1.27x, equal area).",
+        ],
+    )

@@ -1,0 +1,92 @@
+"""Hardware models: area, power, performance, and replica math.
+
+Reproduces the paper's hardware evaluation — Table II (performance),
+Table III (new RSU-G area/power) and Table IV (area vs alternative RNG
+designs) — from documented per-component constants, plus the replica
+arithmetic of Sec. IV-B (observation-window and truncation replicas).
+"""
+
+from repro.hw.accelerator import AcceleratorModel, speedup_vs_gpu
+from repro.hw.calibration import operating_point, photon_budget, summarize
+from repro.hw.efficiency import (
+    EfficiencyRow,
+    drng_efficiency,
+    efficiency_table,
+    power_fraction_vs_drng,
+    rsu_efficiency,
+)
+from repro.hw.area_power import (
+    OPTIMISTIC_CMOS_UNDER_WAVEGUIDE_UM2,
+    legacy_rsu_breakdown,
+    new_rsu_breakdown,
+    power_ratio_new_vs_legacy,
+    rsu_area_with_sharing,
+)
+from repro.hw.components import (
+    ComponentCost,
+    cmos_totals,
+    new_ret_circuit,
+    ret_circuit_totals,
+    shareable_light_area,
+    timing_window_check,
+)
+from repro.hw.perf import (
+    DEFAULT_ITERATIONS,
+    PAPER_TABLE2,
+    TABLE2_CONFIGS,
+    GPUModel,
+    RSUAugmentedModel,
+    table2_model,
+)
+from repro.hw.system import (
+    ArrayConfig,
+    SweepTiming,
+    size_array_for_rate,
+    solve_time_seconds,
+    sweep_timing,
+)
+from repro.hw.rng_alternatives import (
+    drng_unit_area,
+    lfsr_unit_area,
+    mt19937_unit_area,
+    table4_areas,
+)
+
+__all__ = [
+    "operating_point",
+    "photon_budget",
+    "summarize",
+    "EfficiencyRow",
+    "drng_efficiency",
+    "efficiency_table",
+    "power_fraction_vs_drng",
+    "rsu_efficiency",
+    "ArrayConfig",
+    "SweepTiming",
+    "size_array_for_rate",
+    "solve_time_seconds",
+    "sweep_timing",
+    "AcceleratorModel",
+    "speedup_vs_gpu",
+    "OPTIMISTIC_CMOS_UNDER_WAVEGUIDE_UM2",
+    "legacy_rsu_breakdown",
+    "new_rsu_breakdown",
+    "power_ratio_new_vs_legacy",
+    "rsu_area_with_sharing",
+    "ComponentCost",
+    "cmos_totals",
+    "new_ret_circuit",
+    "ret_circuit_totals",
+    "shareable_light_area",
+    "timing_window_check",
+    "DEFAULT_ITERATIONS",
+    "PAPER_TABLE2",
+    "TABLE2_CONFIGS",
+    "GPUModel",
+    "RSUAugmentedModel",
+    "table2_model",
+    "drng_unit_area",
+    "lfsr_unit_area",
+    "mt19937_unit_area",
+    "table4_areas",
+]

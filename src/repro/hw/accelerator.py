@@ -1,0 +1,92 @@
+"""Discrete RSU-G accelerator model (paper Sec. II-C).
+
+The prior work's discrete accelerator packs 336 RSU-G units behind a
+336 GB/s memory system and reports 21x / 54x speedups for image
+segmentation (5 labels) and motion estimation (49 labels).  This model
+reproduces that roofline: the accelerator is either sampling-throughput
+bound (units x 1 label/cycle) or memory-bandwidth bound (each variable
+update moves its neighbourhood labels and unary row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.area_power import new_rsu_breakdown
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AcceleratorModel:
+    """A discrete accelerator built from RSU-G units."""
+
+    units: int = 336
+    frequency_hz: float = 1.0e9
+    memory_bandwidth_bytes: float = 336.0e9
+    #: Bytes moved per variable update: packed neighbour labels, the
+    #: variable's unary entries and the writeback.  Calibrated so the
+    #: 5-label segmentation speedup lands near the prior work's 21x.
+    bytes_per_variable_base: float = 48.0
+    bytes_per_label: float = 1.5
+
+    def __post_init__(self):
+        if self.units < 1:
+            raise ConfigError(f"units must be >= 1, got {self.units}")
+        if self.frequency_hz <= 0 or self.memory_bandwidth_bytes <= 0:
+            raise ConfigError("frequency and bandwidth must be positive")
+
+    def sampling_time(self, variables: int, labels: int, iterations: int) -> float:
+        """Seconds if limited only by aggregate sampling throughput."""
+        evaluations = float(variables) * labels * iterations
+        return evaluations / (self.units * self.frequency_hz)
+
+    def memory_time(self, variables: int, labels: int, iterations: int) -> float:
+        """Seconds if limited only by memory bandwidth."""
+        bytes_moved = (
+            float(variables)
+            * iterations
+            * (self.bytes_per_variable_base + self.bytes_per_label * labels)
+        )
+        return bytes_moved / self.memory_bandwidth_bytes
+
+    def solve_time(self, variables: int, labels: int, iterations: int) -> float:
+        """Roofline: the binding constraint decides."""
+        if variables < 1 or labels < 1 or iterations < 1:
+            raise ConfigError("variables, labels and iterations must be >= 1")
+        return max(
+            self.sampling_time(variables, labels, iterations),
+            self.memory_time(variables, labels, iterations),
+        )
+
+    def is_memory_bound(self, variables: int, labels: int, iterations: int) -> bool:
+        """True when the memory system, not the units, limits throughput."""
+        return self.memory_time(variables, labels, iterations) > self.sampling_time(
+            variables, labels, iterations
+        )
+
+    def total_area_mm2(self) -> float:
+        """Total RSU-G silicon area of the array (mm^2)."""
+        per_unit = new_rsu_breakdown()["RSU Total"].area_um2
+        return self.units * per_unit / 1e6
+
+    def total_power_w(self) -> float:
+        """Total RSU-G power of the array (W)."""
+        per_unit = new_rsu_breakdown()["RSU Total"].power_mw
+        return self.units * per_unit / 1e3
+
+
+def speedup_vs_gpu(
+    variables: int,
+    labels: int,
+    iterations: int = 100,
+    accelerator: AcceleratorModel = AcceleratorModel(),
+) -> float:
+    """Accelerator speedup over the GPU baseline of :mod:`repro.hw.perf`.
+
+    Reproduces the shape of the prior work's 21x (few labels) to 54x
+    (many labels) discrete-accelerator results.
+    """
+    from repro.hw.perf import GPUModel
+
+    gpu_time = GPUModel().solve_time(variables, labels, iterations, "float")
+    return gpu_time / accelerator.solve_time(variables, labels, iterations)

@@ -1,0 +1,92 @@
+"""RSU-G area/power roll-ups: Table III and the RSU rows of Table IV.
+
+Composes the component models of :mod:`repro.hw.components` into the
+paper's reported totals:
+
+* Table III — new RSU-G breakdown: RET circuit 1120 um^2 / 0.08 mW,
+  CMOS circuitry 1128 / 3.49, LUT 655 / 1.42, total 2903 / 4.99.
+* Table IV RSU rows — noshare 2903, 4share 2303 (light-source set
+  amortized by 4), optimistic 1867 (light source fully amortized and
+  CMOS partially under the waveguide footprint).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.params import RSUConfig, new_design_config
+from repro.hw.components import (
+    LABEL_LUT,
+    LEGACY_CMOS,
+    LEGACY_ENERGY_LUT,
+    LEGACY_RET_CIRCUIT,
+    ComponentCost,
+    cmos_totals,
+    ret_circuit_totals,
+    shareable_light_area,
+)
+from repro.util.errors import ConfigError
+
+#: CMOS area that can sit beneath the waveguide footprint in the
+#: optimistic layout (calibrated to Table IV's RSUG_optimistic row).
+OPTIMISTIC_CMOS_UNDER_WAVEGUIDE_UM2 = 236.0
+
+
+def new_rsu_breakdown(config: Optional[RSUConfig] = None) -> Dict[str, ComponentCost]:
+    """Table III rows for the new design."""
+    if config is None:
+        config = new_design_config()
+    ret = ret_circuit_totals(config)
+    cmos = cmos_totals()
+    rows = {
+        "RET Circuit": ret,
+        "CMOS Circuitry": cmos,
+        "LUT": LABEL_LUT,
+    }
+    total_area = sum(cost.area_um2 for cost in rows.values())
+    total_power = sum(cost.power_mw for cost in rows.values())
+    rows["RSU Total"] = ComponentCost("rsu_total", total_area, total_power)
+    return rows
+
+
+def legacy_rsu_breakdown() -> Dict[str, ComponentCost]:
+    """Previous design totals (Sec. II-C: 0.0029 mm^2, 3.91 mW)."""
+    rows = {
+        "RET Circuit": LEGACY_RET_CIRCUIT,
+        "CMOS Circuitry": LEGACY_CMOS,
+        "LUT": LEGACY_ENERGY_LUT,
+    }
+    total_area = sum(cost.area_um2 for cost in rows.values())
+    total_power = sum(cost.power_mw for cost in rows.values())
+    rows["RSU Total"] = ComponentCost("rsu_total", total_area, total_power)
+    return rows
+
+
+def power_ratio_new_vs_legacy() -> float:
+    """The headline 1.27x power figure."""
+    new = new_rsu_breakdown()["RSU Total"].power_mw
+    legacy = legacy_rsu_breakdown()["RSU Total"].power_mw
+    return new / legacy
+
+
+def rsu_area_with_sharing(sharing: str, config: Optional[RSUConfig] = None) -> float:
+    """Per-unit RSU-G area under a light-source sharing scheme (um^2).
+
+    ``noshare``: each RSU-G owns its full RET circuit.
+    ``4share``: four RSU-Gs amortize one light-source set.
+    ``optimistic``: many RSU-Gs share the light source (amortized area
+    negligible) and part of the CMOS resides beneath the waveguides.
+    """
+    if config is None:
+        config = new_design_config()
+    total = new_rsu_breakdown(config)["RSU Total"].area_um2
+    light = shareable_light_area(config)
+    if sharing == "noshare":
+        return total
+    if sharing == "4share":
+        return total - light + light / 4.0
+    if sharing == "optimistic":
+        return total - light - OPTIMISTIC_CMOS_UNDER_WAVEGUIDE_UM2
+    raise ConfigError(
+        f"unknown sharing scheme {sharing!r}; expected noshare/4share/optimistic"
+    )

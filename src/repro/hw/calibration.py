@@ -1,0 +1,121 @@
+"""Physical calibration: design parameters to device quantities.
+
+Maps an :class:`~repro.core.params.RSUConfig` onto physical units using
+the paper's stated operating point — a 1 GHz pipeline clock with an 8x
+clock multiplier reading the SPAD through a shift register, giving a
+125 ps unit time bin (Sec. IV-B.5) — and the RET physics: the decay
+rate of an ensemble scales with chromophore concentration, so the four
+networks on a waveguide at 1x/2x/4x/8x concentration realize the 2^n
+code set.
+
+Checks the model exposes:
+
+* bin duration and detection-window length in seconds;
+* the base decay rate lambda0 in Hz each code multiplies;
+* the fluorescence-photon budget per evaluation (how many photons the
+  QDLED pulse must yield for the SPAD to see the first one);
+* feasibility guards (bins no finer than the paper's 125 ps, rates
+  within what RET ensembles reach).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.params import RSUConfig
+from repro.core.pipeline import BINS_PER_CYCLE
+from repro.util.errors import ConfigError
+
+#: The paper's pipeline clock.
+DEFAULT_CLOCK_HZ = 1.0e9
+#: Finest practical bin (1 GHz x 8 multiplier): 125 ps (Sec. IV-B.5).
+MIN_BIN_SECONDS = 125e-12
+#: RET ensemble decay rates demonstrated in the enabling work span
+#: roughly MHz..10 GHz depending on concentration and chromophore.
+MAX_DECAY_RATE_HZ = 2.0e10
+
+
+@dataclass(frozen=True)
+class PhysicalOperatingPoint:
+    """Physical realization of one design point."""
+
+    clock_hz: float
+    bin_seconds: float
+    window_seconds: float
+    lambda0_hz: float
+    concentrations: tuple
+    max_decay_rate_hz: float
+
+    @property
+    def window_bins(self) -> int:
+        """Number of unit bins in the detection window."""
+        return round(self.window_seconds / self.bin_seconds)
+
+
+def operating_point(
+    config: RSUConfig, clock_hz: float = DEFAULT_CLOCK_HZ
+) -> PhysicalOperatingPoint:
+    """Physical quantities of a design point at a given clock."""
+    if clock_hz <= 0:
+        raise ConfigError(f"clock_hz must be positive, got {clock_hz}")
+    bin_seconds = 1.0 / (clock_hz * BINS_PER_CYCLE)
+    if bin_seconds < MIN_BIN_SECONDS - 1e-18:
+        raise ConfigError(
+            f"bin of {bin_seconds * 1e12:.0f} ps is below the practical "
+            f"{MIN_BIN_SECONDS * 1e12:.0f} ps limit (clock multipliers)"
+        )
+    window_seconds = config.time_bins * bin_seconds
+    lambda0_hz = config.lambda0_per_bin / bin_seconds
+    concentrations = tuple(
+        1 << exponent for exponent in range(config.unique_lambdas)
+    )
+    top_rate = lambda0_hz * concentrations[-1]
+    if top_rate > MAX_DECAY_RATE_HZ:
+        raise ConfigError(
+            f"peak decay rate {top_rate:.2e} Hz exceeds what RET ensembles "
+            f"reach ({MAX_DECAY_RATE_HZ:.0e} Hz); lower the clock or "
+            f"raise Truncation"
+        )
+    return PhysicalOperatingPoint(
+        clock_hz=clock_hz,
+        bin_seconds=bin_seconds,
+        window_seconds=window_seconds,
+        lambda0_hz=lambda0_hz,
+        concentrations=concentrations,
+        max_decay_rate_hz=top_rate,
+    )
+
+
+def photon_budget(config: RSUConfig, detection_efficiency: float = 0.25) -> float:
+    """Expected excited chromophores needed per evaluation.
+
+    The SPAD must detect the *first* fluorescence photon; with detector
+    efficiency ``eta`` the ensemble needs on the order of ``1 / eta``
+    emitted photons for a reliable first-photon timestamp, independent
+    of the decay rate (the rate shapes *when*, not *whether*).
+    """
+    if not 0 < detection_efficiency <= 1:
+        raise ConfigError(
+            f"detection_efficiency must be in (0, 1], got {detection_efficiency}"
+        )
+    # One extra factor covers evaluations truncated at the window edge:
+    # the network must still have been excited even though no photon was
+    # counted in time.
+    miss = config.truncation
+    return (1.0 / detection_efficiency) / max(1e-12, 1.0 - miss)
+
+
+def summarize(config: RSUConfig, clock_hz: float = DEFAULT_CLOCK_HZ) -> Dict[str, float]:
+    """Human-oriented physical summary of a design point."""
+    point = operating_point(config, clock_hz)
+    return {
+        "clock_ghz": point.clock_hz / 1e9,
+        "bin_ps": point.bin_seconds * 1e12,
+        "window_ns": point.window_seconds * 1e9,
+        "lambda0_mhz": point.lambda0_hz / 1e6,
+        "peak_rate_ghz": point.max_decay_rate_hz / 1e9,
+        "concentrations": len(point.concentrations),
+        "photons_per_eval": photon_budget(config),
+        "mean_ttf_ns_at_lambda0": 1e9 / point.lambda0_hz,
+    }

@@ -1,0 +1,128 @@
+"""Analytical performance model for Table II (stereo execution time).
+
+The paper measures a best-effort GPU implementation against the same
+GPU augmented with RSU-Gs.  Offline we model both analytically:
+
+* **GPU baseline** — every pixel-label evaluation costs the energy
+  computation plus the expensive sample generation (the paper quotes
+  600-800 cycles for library samplers); the GPU supplies
+  ``cores * frequency`` cycles/s derated by an occupancy factor that
+  saturates with image size (small images underutilize the GPU, which
+  is visible in the paper's SD-vs-HD scaling).
+* **RSU-augmented GPU** — sampling and energy evaluation move into the
+  RSU-Gs at one label per cycle per unit; the GPU retains per-pixel
+  staging work (neighbour gathers, input packing, writeback).
+
+Constants are calibrated to the paper's SD column; EXPERIMENTS.md
+records the deviation on the HD column (the model is conservative for
+the RSU at HD).  The *shape* — the RSU-G wins everywhere, with larger
+gains at higher label counts — is what the model reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.util.errors import ConfigError
+
+#: Iterations assumed per stereo solve (the paper does not state its
+#: Table II iteration count; 100 reproduces the magnitudes).
+DEFAULT_ITERATIONS = 100
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """Throughput model of the baseline GPU."""
+
+    cores: int = 2048
+    frequency_hz: float = 1.0e9
+    half_utilization_pixels: float = 86_000.0
+    sample_cycles: float = 700.0
+    energy_cycles: float = 80.0
+    int8_speedup: float = 1.11  # int8 energy+sampling runs ~10% faster
+
+    def utilization(self, pixels: int) -> float:
+        """Occupancy factor in (0, 1), saturating with image size."""
+        if pixels < 1:
+            raise ConfigError(f"pixels must be >= 1, got {pixels}")
+        return pixels / (pixels + self.half_utilization_pixels)
+
+    def cycles_per_second(self, pixels: int) -> float:
+        """Effective delivered cycles/s at a given image size."""
+        return self.cores * self.frequency_hz * self.utilization(pixels)
+
+    def solve_time(
+        self, pixels: int, labels: int, iterations: int, precision: str = "float"
+    ) -> float:
+        """Seconds for an MCMC stereo solve on the GPU alone."""
+        if precision not in ("float", "int8"):
+            raise ConfigError(f"precision must be 'float' or 'int8', got {precision!r}")
+        per_label = self.sample_cycles + self.energy_cycles
+        cycles = iterations * pixels * labels * per_label
+        if precision == "int8":
+            cycles /= self.int8_speedup
+        return cycles / self.cycles_per_second(pixels)
+
+
+@dataclass(frozen=True)
+class RSUAugmentedModel:
+    """Model of the GPU augmented with RSU-G units."""
+
+    gpu: GPUModel = GPUModel()
+    effective_units: int = 12
+    rsu_frequency_hz: float = 1.0e9
+    staging_cycles_per_pixel: float = 1800.0
+
+    def solve_time(self, pixels: int, labels: int, iterations: int) -> float:
+        """Seconds for the same solve with sampling offloaded to RSU-Gs."""
+        staging = (
+            iterations * pixels * self.staging_cycles_per_pixel
+        ) / self.gpu.cycles_per_second(pixels)
+        sampling = (iterations * pixels * labels) / (
+            self.effective_units * self.rsu_frequency_hz
+        )
+        return staging + sampling
+
+
+#: The Table II configurations: (name, (height, width), labels).
+TABLE2_CONFIGS: Tuple[tuple, ...] = (
+    ("320x320 SD, 10-label", (320, 320), 10),
+    ("320x320 SD, 64-label", (320, 320), 64),
+    ("1920x1080 HD, 10-label", (1080, 1920), 10),
+    ("1920x1080 HD, 64-label", (1080, 1920), 64),
+)
+
+#: The paper's measured values for side-by-side reporting (seconds).
+PAPER_TABLE2: Dict[str, Dict[str, float]] = {
+    "320x320 SD, 10-label": {"GPU_float": 0.078, "GPU_int8": 0.070, "RSUG_aug": 0.025},
+    "320x320 SD, 64-label": {"GPU_float": 0.401, "GPU_int8": 0.378, "RSUG_aug": 0.071},
+    "1920x1080 HD, 10-label": {"GPU_float": 0.894, "GPU_int8": 0.784, "RSUG_aug": 0.220},
+    "1920x1080 HD, 64-label": {"GPU_float": 6.522, "GPU_int8": 5.870, "RSUG_aug": 1.067},
+}
+
+
+def table2_model(
+    iterations: int = DEFAULT_ITERATIONS,
+    gpu: GPUModel = GPUModel(),
+    rsu: RSUAugmentedModel = None,
+) -> Dict[str, Dict[str, float]]:
+    """Modeled Table II: execution times and speedups per configuration."""
+    if iterations < 1:
+        raise ConfigError(f"iterations must be >= 1, got {iterations}")
+    if rsu is None:
+        rsu = RSUAugmentedModel(gpu=gpu)
+    table = {}
+    for name, (height, width), labels in TABLE2_CONFIGS:
+        pixels = height * width
+        t_float = gpu.solve_time(pixels, labels, iterations, "float")
+        t_int8 = gpu.solve_time(pixels, labels, iterations, "int8")
+        t_rsu = rsu.solve_time(pixels, labels, iterations)
+        table[name] = {
+            "GPU_float": t_float,
+            "GPU_int8": t_int8,
+            "RSUG_aug": t_rsu,
+            "Speedup_flt": t_float / t_rsu,
+            "Speedup_int8": t_int8 / t_rsu,
+        }
+    return table

@@ -1,0 +1,60 @@
+"""Pure-CMOS alternative sampling-unit area models (Table IV).
+
+An alternative sampling unit replaces the RET stage with an RNG plus a
+CDF LUT (see :mod:`repro.core.cdf_sampler` for the functional model).
+Area constants are calibrated to Table IV: the mt19937 core scaled to
+15 nm, the per-unit sampling base (energy calculation, CDF LUT and
+comparator), the 19-bit LFSR, and the AES-256 stage of Intel's DRNG.
+Sharing amortizes the RNG core over ``n`` sampling units:
+``area(n) = base + rng_interface + rng_core / n``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hw.area_power import rsu_area_with_sharing
+from repro.util.errors import ConfigError
+
+#: Per-unit pseudo-RNG sampling base: energy calc + CDF LUT + comparator.
+PSEUDO_SAMPLING_BASE_UM2 = 2096.0
+#: Buffering/interface overhead for distributing shared mt19937 words.
+MT19937_INTERFACE_UM2 = 157.0
+#: mt19937 core (Watanabe & Abe VLSI, scaled 2005 process -> 15 nm).
+MT19937_CORE_UM2 = 17016.0
+#: 19-bit LFSR: 19 flip-flops plus feedback XORs.
+LFSR19_UM2 = 90.0
+#: AES-256 stage of the Intel DRNG (one of its three stages); one DRNG
+#: supports only one sampling unit given its throughput.
+INTEL_DRNG_PART_UM2 = 3721.0
+
+
+def mt19937_unit_area(share: int) -> float:
+    """Per-unit area with one mt19937 core shared by ``share`` units."""
+    if share < 1:
+        raise ConfigError(f"share must be >= 1, got {share}")
+    return PSEUDO_SAMPLING_BASE_UM2 + MT19937_INTERFACE_UM2 + MT19937_CORE_UM2 / share
+
+
+def lfsr_unit_area() -> float:
+    """Per-unit area of the 19-bit LFSR design (not worth sharing)."""
+    return PSEUDO_SAMPLING_BASE_UM2 + LFSR19_UM2
+
+
+def drng_unit_area() -> float:
+    """Per-unit area charged for the Intel DRNG alternative (AES part only)."""
+    return INTEL_DRNG_PART_UM2
+
+
+def table4_areas() -> Dict[str, float]:
+    """All Table IV rows (um^2), true-RNG and pseudo-RNG designs."""
+    return {
+        "RSUG_noshare": rsu_area_with_sharing("noshare"),
+        "RSUG_4share": rsu_area_with_sharing("4share"),
+        "RSUG_optimistic": rsu_area_with_sharing("optimistic"),
+        "Intel DRNG (part)": drng_unit_area(),
+        "19-bit LFSR": lfsr_unit_area(),
+        "mt19937_noshare": mt19937_unit_area(1),
+        "mt19937_4share": mt19937_unit_area(4),
+        "mt19937_208share": mt19937_unit_area(208),
+    }

@@ -1,0 +1,167 @@
+"""System-level model: mapping an MRF grid onto an array of RSU-Gs.
+
+The accelerator of :mod:`repro.hw.accelerator` is a roofline; this
+module models the *schedule*: the checkerboard constraint partitions
+each sweep into two batches of conditionally independent variables,
+which are striped across the unit array.  It accounts for
+
+* per-batch unit utilization (a batch of B variables on U units takes
+  ``ceil(B / U)`` variable slots);
+* per-variable pipeline occupancy (M cycles at one label/cycle plus the
+  fill latency once per batch);
+* double-buffered memory transfers overlapped with compute, going
+  serial when the bandwidth cannot keep up.
+
+Output: cycles per sweep and per full solve, utilization, and the
+binding bottleneck — the level of detail needed to size an array for a
+target frame rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.params import RSUConfig, new_design_config
+from repro.core.pipeline import new_variable_latency
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """An RSU-G array and its memory system."""
+
+    units: int = 336
+    frequency_hz: float = 1.0e9
+    memory_bandwidth_bytes: float = 336.0e9
+    bytes_per_variable: float = 24.0
+
+    def __post_init__(self):
+        if self.units < 1:
+            raise ConfigError(f"units must be >= 1, got {self.units}")
+        if self.frequency_hz <= 0 or self.memory_bandwidth_bytes <= 0:
+            raise ConfigError("frequency and bandwidth must be positive")
+        if self.bytes_per_variable <= 0:
+            raise ConfigError("bytes_per_variable must be positive")
+
+
+@dataclass(frozen=True)
+class SweepTiming:
+    """Timing of one checkerboard sweep on the array."""
+
+    compute_cycles: int
+    memory_cycles: int
+    total_cycles: int
+    utilization: float
+    bottleneck: str
+
+
+def sweep_timing(
+    height: int,
+    width: int,
+    labels: int,
+    array: ArrayConfig = ArrayConfig(),
+    config: RSUConfig = None,
+) -> SweepTiming:
+    """Cycles for one full sweep (both colour classes).
+
+    Each colour class holds about half the pixels; the class's
+    variables stream through the units in waves of ``units`` at a time.
+    A unit processes its wave's variable in ``M`` cycles (steady state),
+    with one pipeline fill per wave boundary; memory supplies
+    ``bytes_per_variable`` per variable, double-buffered against
+    compute.
+    """
+    if height < 1 or width < 1 or labels < 1:
+        raise ConfigError("height, width and labels must be >= 1")
+    if config is None:
+        config = new_design_config()
+    fill = new_variable_latency(labels, config) - labels
+    total_compute = 0
+    total_memory_cycles = 0
+    pixels = height * width
+    class_sizes = [(pixels + 1) // 2, pixels // 2]
+    array_units = array.units
+    bytes_per_cycle = array.memory_bandwidth_bytes / array.frequency_hz
+    for size in class_sizes:
+        waves = math.ceil(size / array_units)
+        # Units in a wave run concurrently; a wave takes M cycles, plus
+        # the fill once per colour class (the pipeline stays primed
+        # between waves of the same class).
+        compute = fill + waves * labels
+        memory = math.ceil(size * array.bytes_per_variable / bytes_per_cycle)
+        total_compute += compute
+        total_memory_cycles += memory
+    total = max(total_compute, total_memory_cycles)
+    ideal = pixels * labels / array_units
+    utilization = min(1.0, ideal / total)
+    bottleneck = "memory" if total_memory_cycles > total_compute else "compute"
+    return SweepTiming(
+        compute_cycles=total_compute,
+        memory_cycles=total_memory_cycles,
+        total_cycles=total,
+        utilization=utilization,
+        bottleneck=bottleneck,
+    )
+
+
+def solve_time_seconds(
+    height: int,
+    width: int,
+    labels: int,
+    iterations: int,
+    array: ArrayConfig = ArrayConfig(),
+    config: RSUConfig = None,
+) -> float:
+    """Wall-clock seconds for a full MCMC solve on the array."""
+    if iterations < 1:
+        raise ConfigError(f"iterations must be >= 1, got {iterations}")
+    timing = sweep_timing(height, width, labels, array, config)
+    return iterations * timing.total_cycles / array.frequency_hz
+
+
+def size_array_for_rate(
+    height: int,
+    width: int,
+    labels: int,
+    iterations: int,
+    target_seconds: float,
+    array: ArrayConfig = ArrayConfig(),
+    max_units: int = 16_384,
+) -> Dict[str, float]:
+    """Smallest unit count meeting a latency target (or the memory wall).
+
+    Returns the chosen unit count, the achieved time, and whether the
+    target is reachable at all under the array's memory bandwidth.
+    """
+    if target_seconds <= 0:
+        raise ConfigError("target_seconds must be positive")
+    low, high = 1, max_units
+    best = None
+    while low <= high:
+        mid = (low + high) // 2
+        candidate = ArrayConfig(
+            units=mid,
+            frequency_hz=array.frequency_hz,
+            memory_bandwidth_bytes=array.memory_bandwidth_bytes,
+            bytes_per_variable=array.bytes_per_variable,
+        )
+        achieved = solve_time_seconds(height, width, labels, iterations, candidate)
+        if achieved <= target_seconds:
+            best = (mid, achieved)
+            high = mid - 1
+        else:
+            low = mid + 1
+    if best is None:
+        floor_time = solve_time_seconds(
+            height, width, labels, iterations,
+            ArrayConfig(
+                units=max_units,
+                frequency_hz=array.frequency_hz,
+                memory_bandwidth_bytes=array.memory_bandwidth_bytes,
+                bytes_per_variable=array.bytes_per_variable,
+            ),
+        )
+        return {"feasible": False, "units": float(max_units), "achieved_s": floor_time}
+    return {"feasible": True, "units": float(best[0]), "achieved_s": best[1]}

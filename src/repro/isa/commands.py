@@ -1,0 +1,183 @@
+"""RSU-G command encoding: 32-bit words over the host interface.
+
+Formats (op in bits [31:28]):
+
+* ``CONFIGURE`` (op 1): ``[27:26]`` distance kind, ``[25:20]``
+  singleton weight, ``[19:14]`` doubleton weight, ``[13:7]`` label
+  count, ``[6:3]`` output shift.
+* ``SET_TEMPERATURE`` (op 2): ``[27:20]`` transfer index, ``[19:12]``
+  payload byte.  The new design streams 4 boundary bytes into shadow
+  registers; the previous design must stream all 128 LUT bytes and
+  stalls while they land.
+* ``EVALUATE`` (op 3, two words): word0 ``[27:0]`` site index; word1
+  ``[27:24]`` neighbour-valid mask, ``[23:0]`` four 6-bit neighbour
+  labels.
+* ``READ_STATUS`` (op 4): no operands; the device appends a counters
+  snapshot to its response queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple, Union
+
+from repro.core.distance import DISTANCE_KINDS
+from repro.util.errors import ConfigError, DataError
+
+OP_CONFIGURE = 1
+OP_SET_TEMPERATURE = 2
+OP_EVALUATE = 3
+OP_READ_STATUS = 4
+
+_WORD_MASK = 0xFFFFFFFF
+#: Six-bit label fields: up to 64 labels (the paper's maximum).
+MAX_LABELS = 64
+#: Sentinel in a neighbour field when the valid-mask bit is clear.
+NEIGHBOR_FIELD_MASK = 0x3F
+
+
+@dataclass(frozen=True)
+class Configure:
+    """Application-start configuration of the energy stage."""
+
+    distance: str
+    singleton_weight: int
+    doubleton_weight: int
+    n_labels: int
+    output_shift: int = 0
+
+    def __post_init__(self):
+        if self.distance not in DISTANCE_KINDS:
+            raise ConfigError(f"distance must be one of {DISTANCE_KINDS}")
+        for name, value, top in (
+            ("singleton_weight", self.singleton_weight, 63),
+            ("doubleton_weight", self.doubleton_weight, 63),
+            ("output_shift", self.output_shift, 15),
+        ):
+            if not 0 <= value <= top:
+                raise ConfigError(f"{name} must be in [0, {top}], got {value}")
+        if not 1 <= self.n_labels <= MAX_LABELS:
+            raise ConfigError(f"n_labels must be in [1, {MAX_LABELS}]")
+
+
+@dataclass(frozen=True)
+class SetTemperature:
+    """One 8-bit transfer of a temperature update."""
+
+    index: int
+    payload: int
+
+    def __post_init__(self):
+        if not 0 <= self.index <= 255:
+            raise ConfigError(f"index must be in [0, 255], got {self.index}")
+        if not 0 <= self.payload <= 255:
+            raise ConfigError(f"payload must be a byte, got {self.payload}")
+
+
+@dataclass(frozen=True)
+class Evaluate:
+    """One variable evaluation: site index plus neighbour labels."""
+
+    site: int
+    neighbors: Tuple[int, int, int, int]
+    valid_mask: int
+
+    def __post_init__(self):
+        if not 0 <= self.site < (1 << 28):
+            raise ConfigError(f"site must fit 28 bits, got {self.site}")
+        if len(self.neighbors) != 4:
+            raise ConfigError("exactly four neighbour fields required")
+        if any(not 0 <= n <= NEIGHBOR_FIELD_MASK for n in self.neighbors):
+            raise ConfigError("neighbour labels must fit 6 bits")
+        if not 0 <= self.valid_mask <= 0xF:
+            raise ConfigError(f"valid_mask must fit 4 bits, got {self.valid_mask}")
+
+
+@dataclass(frozen=True)
+class ReadStatus:
+    """Request a counters snapshot."""
+
+
+Command = Union[Configure, SetTemperature, Evaluate, ReadStatus]
+
+_DISTANCE_CODES = {kind: i for i, kind in enumerate(DISTANCE_KINDS)}
+_DISTANCE_FROM_CODE = dict(enumerate(DISTANCE_KINDS))
+
+
+def encode(command: Command) -> List[int]:
+    """Encode one command into its 32-bit word(s)."""
+    if isinstance(command, Configure):
+        word = (
+            (OP_CONFIGURE << 28)
+            | (_DISTANCE_CODES[command.distance] << 26)
+            | (command.singleton_weight << 20)
+            | (command.doubleton_weight << 14)
+            | (command.n_labels << 7)
+            | (command.output_shift << 3)
+        )
+        return [word & _WORD_MASK]
+    if isinstance(command, SetTemperature):
+        word = (OP_SET_TEMPERATURE << 28) | (command.index << 20) | (command.payload << 12)
+        return [word & _WORD_MASK]
+    if isinstance(command, Evaluate):
+        word0 = (OP_EVALUATE << 28) | command.site
+        packed = 0
+        for position, neighbor in enumerate(command.neighbors):
+            packed |= neighbor << (6 * position)
+        word1 = (command.valid_mask << 24) | packed
+        return [word0 & _WORD_MASK, word1 & _WORD_MASK]
+    if isinstance(command, ReadStatus):
+        return [(OP_READ_STATUS << 28) & _WORD_MASK]
+    raise ConfigError(f"unknown command {command!r}")
+
+
+def encode_stream(commands: Iterable[Command]) -> List[int]:
+    """Encode a command sequence into a flat word stream."""
+    words: List[int] = []
+    for command in commands:
+        words.extend(encode(command))
+    return words
+
+
+def decode_stream(words: Iterable[int]) -> List[Command]:
+    """Decode a word stream back into commands (inverse of encode)."""
+    iterator = iter(words)
+    commands: List[Command] = []
+    for word in iterator:
+        if not 0 <= word <= _WORD_MASK:
+            raise DataError(f"word {word!r} does not fit 32 bits")
+        opcode = word >> 28
+        if opcode == OP_CONFIGURE:
+            commands.append(
+                Configure(
+                    distance=_DISTANCE_FROM_CODE[(word >> 26) & 0x3],
+                    singleton_weight=(word >> 20) & 0x3F,
+                    doubleton_weight=(word >> 14) & 0x3F,
+                    n_labels=(word >> 7) & 0x7F,
+                    output_shift=(word >> 3) & 0xF,
+                )
+            )
+        elif opcode == OP_SET_TEMPERATURE:
+            commands.append(
+                SetTemperature(index=(word >> 20) & 0xFF, payload=(word >> 12) & 0xFF)
+            )
+        elif opcode == OP_EVALUATE:
+            try:
+                word1 = next(iterator)
+            except StopIteration:
+                raise DataError("truncated EVALUATE: missing second word")
+            neighbors = tuple(
+                (word1 >> (6 * position)) & NEIGHBOR_FIELD_MASK for position in range(4)
+            )
+            commands.append(
+                Evaluate(
+                    site=word & 0x0FFFFFFF,
+                    neighbors=neighbors,
+                    valid_mask=(word1 >> 24) & 0xF,
+                )
+            )
+        elif opcode == OP_READ_STATUS:
+            commands.append(ReadStatus())
+        else:
+            raise DataError(f"unknown opcode {opcode} in word {word:#010x}")
+    return commands

@@ -1,0 +1,231 @@
+"""Functional RSU-G device: consumes command streams, returns labels.
+
+The device owns the hardware-side state: the energy datapath
+configuration, the label-value LUT, the unary memory (written by the
+host out-of-band, modeling DMA), the lambda boundary registers (with a
+shadow set on the new design), and the sampling stages.  It is
+bit-faithful: energies come from the integer
+:class:`~repro.core.datapath.EnergyDatapath`, conversion compares
+against 8-bit boundary registers, and the TTF/selection stages are the
+same models the functional simulator uses.
+
+Design variants:
+
+* ``design="new"`` — 4 boundary-byte transfers per temperature update,
+  landing in shadow registers (no stall accounted);
+* ``design="legacy"`` — the update must stream the full 128-byte
+  energy-to-intensity LUT; the device counts the stall cycles the
+  pipeline would pay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.base import select_first_to_fire
+from repro.core.datapath import EnergyDatapath
+from repro.core.params import RSUConfig
+from repro.core.ttf import TTFSampler
+from repro.isa.commands import (
+    Command,
+    Configure,
+    Evaluate,
+    ReadStatus,
+    SetTemperature,
+)
+from repro.util.errors import ConfigError, DataError
+
+#: Temperature-update transfers per design.
+NEW_UPDATE_BYTES = 4
+LEGACY_UPDATE_BYTES = 128  # 256 entries x 4 bits
+
+
+@dataclass
+class DeviceStats:
+    """Interface and pipeline counters."""
+
+    words_consumed: int = 0
+    evaluations: int = 0
+    temperature_updates: int = 0
+    update_bytes: int = 0
+    stall_cycles: int = 0
+    responses: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters as a plain dict (the READ_STATUS payload)."""
+        return {
+            "words_consumed": self.words_consumed,
+            "evaluations": self.evaluations,
+            "temperature_updates": self.temperature_updates,
+            "update_bytes": self.update_bytes,
+            "stall_cycles": self.stall_cycles,
+            "responses": self.responses,
+        }
+
+
+class RSUDevice:
+    """Executes a decoded command stream.
+
+    Parameters
+    ----------
+    config:
+        Sampling design point (conversion flags must match ``design``).
+    rng:
+        RET entropy source.
+    design:
+        ``"new"`` or ``"legacy"`` — selects the temperature-update
+        interface behaviour.
+    """
+
+    def __init__(
+        self, config: RSUConfig, rng: np.random.Generator, design: str = "new"
+    ):
+        if design not in ("new", "legacy"):
+            raise ConfigError(f"design must be 'new' or 'legacy', got {design}")
+        if design == "new" and not (config.scaling and config.cutoff):
+            raise ConfigError("the new device requires scaling and cutoff enabled")
+        if design == "legacy" and (config.scaling or config.cutoff):
+            raise ConfigError("the legacy device models the unscaled design")
+        self.config = config
+        self.design = design
+        self._rng = rng
+        self._ttf = TTFSampler(config, rng)
+        self._datapath: Optional[EnergyDatapath] = None
+        self._unary: Optional[np.ndarray] = None
+        self._boundaries: Optional[np.ndarray] = None  # active registers
+        self._shadow: Dict[int, int] = {}
+        self._lut: Optional[np.ndarray] = None
+        self._lut_bytes: Dict[int, int] = {}
+        self.stats = DeviceStats()
+        self.responses: List[object] = []
+
+    # -- host-side memory (DMA model) ------------------------------------
+    def load_unary(self, unary: np.ndarray) -> None:
+        """Write the quantized singleton-cost table (sites x labels)."""
+        arr = np.asarray(unary, dtype=np.int64)
+        if arr.ndim != 2:
+            raise DataError(f"unary must be (sites, labels), got {arr.shape}")
+        if arr.min() < 0 or arr.max() > 255:
+            raise DataError("unary costs must be 8-bit")
+        self._unary = arr
+
+    # -- command execution -------------------------------------------------
+    def execute(self, commands: List[Command], words: int = None) -> List[object]:
+        """Run a command list; returns the responses it produced."""
+        before = len(self.responses)
+        for command in commands:
+            self._dispatch(command)
+        if words is not None:
+            self.stats.words_consumed += words
+        return self.responses[before:]
+
+    def _dispatch(self, command: Command) -> None:
+        if isinstance(command, Configure):
+            self._configure(command)
+        elif isinstance(command, SetTemperature):
+            self._set_temperature(command)
+        elif isinstance(command, Evaluate):
+            self._evaluate(command)
+        elif isinstance(command, ReadStatus):
+            self.responses.append(self.stats.snapshot())
+            self.stats.responses += 1
+        else:
+            raise ConfigError(f"unknown command {command!r}")
+
+    def _configure(self, command: Configure) -> None:
+        self._datapath = EnergyDatapath(
+            label_values=np.arange(command.n_labels),
+            distance=command.distance,
+            singleton_weight=command.singleton_weight,
+            doubleton_weight=command.doubleton_weight,
+            output_shift=command.output_shift,
+            energy_bits=self.config.energy_bits,
+        )
+
+    def _set_temperature(self, command: SetTemperature) -> None:
+        if self.design == "new":
+            if command.index >= NEW_UPDATE_BYTES:
+                raise DataError(
+                    f"new design has {NEW_UPDATE_BYTES} boundary registers"
+                )
+            self._shadow[command.index] = command.payload
+            if len(self._shadow) == NEW_UPDATE_BYTES:
+                # Atomic swap once all transfers have landed; no stall.
+                self._boundaries = np.array(
+                    [self._shadow[i] for i in range(NEW_UPDATE_BYTES)], dtype=np.int64
+                )
+                self._shadow = {}
+                self.stats.temperature_updates += 1
+            self.stats.update_bytes += 1
+        else:
+            if command.index >= LEGACY_UPDATE_BYTES:
+                raise DataError(
+                    f"legacy design streams {LEGACY_UPDATE_BYTES} LUT bytes"
+                )
+            self._lut_bytes[command.index] = command.payload
+            self.stats.update_bytes += 1
+            self.stats.stall_cycles += 1  # the pipeline holds per transfer
+            if len(self._lut_bytes) == LEGACY_UPDATE_BYTES:
+                packed = np.array(
+                    [self._lut_bytes[i] for i in range(LEGACY_UPDATE_BYTES)],
+                    dtype=np.int64,
+                )
+                # Each byte carries two 4-bit LUT entries, low nibble first.
+                lut = np.zeros(256, dtype=np.int64)
+                lut[0::2] = packed & 0xF
+                lut[1::2] = (packed >> 4) & 0xF
+                self._lut = lut
+                self._lut_bytes = {}
+                self.stats.temperature_updates += 1
+
+    def _codes_for(self, energies: np.ndarray) -> np.ndarray:
+        if self.design == "new":
+            if self._boundaries is None:
+                raise ConfigError("SET_TEMPERATURE must precede EVALUATE")
+            scaled = energies - energies.min()
+            codes = np.zeros(len(energies), dtype=np.int64)
+            code = self.config.lambda_max_code
+            assigned = np.zeros(len(energies), dtype=bool)
+            for bound in self._boundaries:
+                mask = ~assigned & (scaled <= bound)
+                codes[mask] = code
+                assigned |= mask
+                code //= 2
+            return codes
+        if self._lut is None:
+            raise ConfigError("SET_TEMPERATURE must precede EVALUATE")
+        return self._lut[np.clip(energies, 0, 255)]
+
+    def _evaluate(self, command: Evaluate) -> None:
+        if self._datapath is None:
+            raise ConfigError("CONFIGURE must precede EVALUATE")
+        if self._unary is None:
+            raise ConfigError("unary memory must be loaded before EVALUATE")
+        if command.site >= self._unary.shape[0]:
+            raise DataError(f"site {command.site} outside the unary memory")
+        m = self._datapath.n_labels
+        neighbors = np.array(
+            [
+                neighbor if (command.valid_mask >> position) & 1 else m
+                for position, neighbor in enumerate(command.neighbors)
+            ],
+            dtype=np.int64,
+        )
+        if np.any((neighbors < 0) | (neighbors > m)):
+            raise DataError("neighbour label outside the configured label set")
+        singleton = self._unary[command.site]
+        labels = np.arange(m)
+        energies = self._datapath.compute(
+            singleton, labels, np.tile(neighbors, (m, 1))
+        )
+        codes = self._codes_for(energies)
+        ttf = self._ttf.sample(codes[None, :])
+        winner = int(
+            select_first_to_fire(ttf, self.config.tie_policy, self._rng)[0]
+        )
+        self.responses.append(winner)
+        self.stats.evaluations += 1
+        self.stats.responses += 1

@@ -1,0 +1,28 @@
+"""Application quality metrics (paper Sec. III-A and III-D)."""
+
+from repro.metrics.denoise_metrics import label_accuracy, psnr
+from repro.metrics.motion_metrics import endpoint_error, flow_from_labels
+from repro.metrics.segmentation_metrics import (
+    bisip_metrics,
+    boundary_displacement_error,
+    boundary_map,
+    global_consistency_error,
+    probabilistic_rand_index,
+    variation_of_information,
+)
+from repro.metrics.stereo_metrics import bad_pixel_percentage, rms_error
+
+__all__ = [
+    "label_accuracy",
+    "psnr",
+    "endpoint_error",
+    "flow_from_labels",
+    "bisip_metrics",
+    "boundary_displacement_error",
+    "boundary_map",
+    "global_consistency_error",
+    "probabilistic_rand_index",
+    "variation_of_information",
+    "bad_pixel_percentage",
+    "rms_error",
+]

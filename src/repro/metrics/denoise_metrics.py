@@ -1,0 +1,35 @@
+"""Restoration quality metrics: PSNR and label accuracy."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.errors import DataError
+
+
+def psnr(estimate: np.ndarray, reference: np.ndarray, peak: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB (infinite for exact recovery)."""
+    est = np.asarray(estimate, dtype=np.float64)
+    ref = np.asarray(reference, dtype=np.float64)
+    if est.shape != ref.shape or est.ndim != 2:
+        raise DataError(
+            f"estimate and reference must be equal-shape 2-D images, "
+            f"got {est.shape} and {ref.shape}"
+        )
+    if peak <= 0:
+        raise DataError(f"peak must be positive, got {peak}")
+    mse = float(((est - ref) ** 2).mean())
+    if mse == 0:
+        return float("inf")
+    return 10.0 * math.log10(peak * peak / mse)
+
+
+def label_accuracy(estimate: np.ndarray, reference: np.ndarray) -> float:
+    """Fraction of pixels whose label exactly matches the ground truth."""
+    est = np.asarray(estimate)
+    ref = np.asarray(reference)
+    if est.shape != ref.shape:
+        raise DataError(f"shape mismatch: {est.shape} vs {ref.shape}")
+    return float((est == ref).mean())

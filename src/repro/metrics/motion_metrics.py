@@ -1,0 +1,31 @@
+"""Motion-estimation quality metric: average end-point error.
+
+EPE (Baker et al.) is the mean Euclidean distance between estimated and
+ground-truth flow vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import DataError
+
+
+def endpoint_error(estimate: np.ndarray, ground_truth: np.ndarray) -> float:
+    """Average end-point error between two (H, W, 2) flow fields."""
+    est = np.asarray(estimate, dtype=np.float64)
+    gt = np.asarray(ground_truth, dtype=np.float64)
+    if est.shape != gt.shape or est.ndim != 3 or est.shape[-1] != 2:
+        raise DataError(
+            f"flow fields must be equal-shape (H, W, 2) arrays, got {est.shape} and {gt.shape}"
+        )
+    return float(np.sqrt(((est - gt) ** 2).sum(axis=-1)).mean())
+
+
+def flow_from_labels(labels: np.ndarray, label_vectors: np.ndarray) -> np.ndarray:
+    """Expand a label grid into an (H, W, 2) flow field."""
+    labels = np.asarray(labels, dtype=np.int64)
+    vectors = np.asarray(label_vectors, dtype=np.float64)
+    if labels.min() < 0 or labels.max() >= len(vectors):
+        raise DataError("labels out of range of the label-vector table")
+    return vectors[labels]

@@ -1,0 +1,126 @@
+"""Segmentation quality metrics: the four BISIP measures.
+
+The paper evaluates segmentation with the BISIP package (Yang et al.),
+which reports Variation of Information (VoI, lower better),
+Probabilistic Rand Index (PRI, higher better), Global Consistency Error
+(GCE, lower better) and Boundary Displacement Error (BDE, lower
+better).  All four are implemented here from their definitions; all are
+invariant to label permutation, so no label matching is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.util.errors import DataError
+
+
+def _contingency(seg_a: np.ndarray, seg_b: np.ndarray) -> np.ndarray:
+    """Contingency table n_ij between two label grids."""
+    a = np.asarray(seg_a, dtype=np.int64)
+    b = np.asarray(seg_b, dtype=np.int64)
+    if a.shape != b.shape or a.ndim != 2:
+        raise DataError(
+            f"segmentations must be equal-shape 2-D label grids, got {a.shape} and {b.shape}"
+        )
+    if a.min() < 0 or b.min() < 0:
+        raise DataError("labels must be non-negative")
+    n_a = int(a.max()) + 1
+    n_b = int(b.max()) + 1
+    table = np.zeros((n_a, n_b), dtype=np.int64)
+    np.add.at(table, (a.ravel(), b.ravel()), 1)
+    return table
+
+
+def variation_of_information(seg_a: np.ndarray, seg_b: np.ndarray) -> float:
+    """VoI = H(A) + H(B) - 2 I(A; B), in bits.  Zero iff identical partitions."""
+    table = _contingency(seg_a, seg_b).astype(np.float64)
+    total = table.sum()
+    joint = table / total
+    pa = joint.sum(axis=1)
+    pb = joint.sum(axis=0)
+    nz = joint > 0
+    h_joint = -(joint[nz] * np.log2(joint[nz])).sum()
+    h_a = -(pa[pa > 0] * np.log2(pa[pa > 0])).sum()
+    h_b = -(pb[pb > 0] * np.log2(pb[pb > 0])).sum()
+    mutual = h_a + h_b - h_joint
+    return float(h_a + h_b - 2.0 * mutual)
+
+
+def probabilistic_rand_index(seg_a: np.ndarray, seg_b: np.ndarray) -> float:
+    """Rand index between two partitions: pairwise agreement fraction in [0, 1]."""
+    table = _contingency(seg_a, seg_b).astype(np.float64)
+    total = table.sum()
+    pairs_total = total * (total - 1) / 2.0
+    if pairs_total == 0:
+        raise DataError("need at least two pixels")
+    sum_sq = (table**2).sum()
+    sum_rows = (table.sum(axis=1) ** 2).sum()
+    sum_cols = (table.sum(axis=0) ** 2).sum()
+    disagreements = 0.5 * (sum_rows + sum_cols) - sum_sq
+    return float(1.0 - disagreements / pairs_total)
+
+
+def global_consistency_error(seg_a: np.ndarray, seg_b: np.ndarray) -> float:
+    """GCE (Martin et al.): one-sided refinement error, min over directions."""
+    table = _contingency(seg_a, seg_b).astype(np.float64)
+    total = table.sum()
+    rows = table.sum(axis=1, keepdims=True)
+    cols = table.sum(axis=0, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        err_ab = np.where(rows > 0, table * (rows - table) / rows, 0.0).sum()
+        err_ba = np.where(cols > 0, table * (cols - table) / cols, 0.0).sum()
+    return float(min(err_ab, err_ba) / total)
+
+
+def boundary_map(labels: np.ndarray) -> np.ndarray:
+    """Boolean map of pixels adjacent to a different label (4-connected)."""
+    arr = np.asarray(labels, dtype=np.int64)
+    if arr.ndim != 2:
+        raise DataError(f"labels must be 2-D, got shape {arr.shape}")
+    boundary = np.zeros(arr.shape, dtype=bool)
+    boundary[:, :-1] |= arr[:, :-1] != arr[:, 1:]
+    boundary[:, 1:] |= arr[:, :-1] != arr[:, 1:]
+    boundary[:-1, :] |= arr[:-1, :] != arr[1:, :]
+    boundary[1:, :] |= arr[:-1, :] != arr[1:, :]
+    return boundary
+
+
+def boundary_displacement_error(seg_a: np.ndarray, seg_b: np.ndarray) -> float:
+    """BDE: symmetric mean distance between the two boundary sets (pixels).
+
+    If one segmentation has no boundary (single region), its pixels'
+    distance to the other boundary is averaged over the whole grid; if
+    both are boundary-free the error is zero.
+    """
+    a = np.asarray(seg_a, dtype=np.int64)
+    b = np.asarray(seg_b, dtype=np.int64)
+    if a.shape != b.shape or a.ndim != 2:
+        raise DataError(
+            f"segmentations must be equal-shape 2-D label grids, got {a.shape} and {b.shape}"
+        )
+    bound_a = boundary_map(a)
+    bound_b = boundary_map(b)
+    if not bound_a.any() and not bound_b.any():
+        return 0.0
+    diag = float(np.hypot(*a.shape))
+    dist_to_b = (
+        ndimage.distance_transform_edt(~bound_b) if bound_b.any() else np.full(a.shape, diag)
+    )
+    dist_to_a = (
+        ndimage.distance_transform_edt(~bound_a) if bound_a.any() else np.full(a.shape, diag)
+    )
+    err_ab = dist_to_b[bound_a].mean() if bound_a.any() else dist_to_b.mean()
+    err_ba = dist_to_a[bound_b].mean() if bound_b.any() else dist_to_a.mean()
+    return float(0.5 * (err_ab + err_ba))
+
+
+def bisip_metrics(seg: np.ndarray, ground_truth: np.ndarray) -> dict:
+    """All four BISIP metrics as a dict keyed voi/pri/gce/bde."""
+    return {
+        "voi": variation_of_information(seg, ground_truth),
+        "pri": probabilistic_rand_index(seg, ground_truth),
+        "gce": global_consistency_error(seg, ground_truth),
+        "bde": boundary_displacement_error(seg, ground_truth),
+    }

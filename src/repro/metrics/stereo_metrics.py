@@ -1,0 +1,41 @@
+"""Stereo quality metrics: bad-pixel percentage and RMS error.
+
+The paper uses the Middlebury conventions (Scharstein & Szeliski): a
+pixel is bad if its disparity differs from ground truth by more than a
+threshold (1 in the paper), and RMS is the root-mean-square disparity
+error.  All pixels are scored, occlusions included, matching the
+paper's conservative all-regions evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import DataError
+
+
+def _check_pair(estimate: np.ndarray, ground_truth: np.ndarray) -> tuple:
+    est = np.asarray(estimate, dtype=np.float64)
+    gt = np.asarray(ground_truth, dtype=np.float64)
+    if est.shape != gt.shape or est.ndim != 2:
+        raise DataError(
+            f"estimate and ground truth must be equal-shape 2-D maps, "
+            f"got {est.shape} and {gt.shape}"
+        )
+    return est, gt
+
+
+def bad_pixel_percentage(
+    estimate: np.ndarray, ground_truth: np.ndarray, threshold: float = 1.0
+) -> float:
+    """Fraction (in percent) of pixels with |error| > threshold."""
+    est, gt = _check_pair(estimate, ground_truth)
+    if threshold < 0:
+        raise DataError(f"threshold must be >= 0, got {threshold}")
+    return float((np.abs(est - gt) > threshold).mean() * 100.0)
+
+
+def rms_error(estimate: np.ndarray, ground_truth: np.ndarray) -> float:
+    """Root-mean-square disparity error."""
+    est, gt = _check_pair(estimate, ground_truth)
+    return float(np.sqrt(((est - gt) ** 2).mean()))

@@ -1,0 +1,28 @@
+"""Markov Random Field substrate: grid model, annealing, MCMC solver."""
+
+from repro.mrf.annealing import (
+    ConstantSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+    Schedule,
+    geometric_for_span,
+)
+from repro.mrf.model import GridMRF, checkerboard_masks, coloring_masks
+from repro.mrf.solver import MCMCSolver, SolveResult
+from repro.mrf.tempering import ParallelTempering, TemperingResult, geometric_ladder
+
+__all__ = [
+    "ConstantSchedule",
+    "GeometricSchedule",
+    "LinearSchedule",
+    "Schedule",
+    "geometric_for_span",
+    "GridMRF",
+    "checkerboard_masks",
+    "coloring_masks",
+    "MCMCSolver",
+    "SolveResult",
+    "ParallelTempering",
+    "TemperingResult",
+    "geometric_ladder",
+]

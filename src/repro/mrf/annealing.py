@@ -1,0 +1,101 @@
+"""Simulated-annealing temperature schedules.
+
+The stereo and motion solvers use simulated annealing (Sec. III-A):
+energies are divided by a temperature that decreases each iteration so
+that every label is nearly equiprobable at the start and the chain
+converges to low-energy labelings at the end.  In an RSU-G the schedule
+folds into the lambda boundary registers each iteration (Sec. IV-B.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigError
+from repro.util.validation import check_positive
+
+
+class Schedule:
+    """Base class: maps an iteration index to a temperature."""
+
+    def temperature(self, iteration: int) -> float:
+        """Temperature for iteration ``iteration`` (0-based)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantSchedule(Schedule):
+    """Fixed temperature (plain Gibbs sampling, used for segmentation)."""
+
+    value: float
+
+    def __post_init__(self):
+        check_positive("value", self.value)
+
+    def temperature(self, iteration: int) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class GeometricSchedule(Schedule):
+    """``T_k = max(t0 * rate**k, t_min)`` — the standard SA schedule."""
+
+    t0: float
+    rate: float
+    t_min: float = 1e-3
+
+    def __post_init__(self):
+        check_positive("t0", self.t0)
+        check_positive("t_min", self.t_min)
+        if not 0.0 < self.rate < 1.0:
+            raise ConfigError(f"rate must be in (0, 1), got {self.rate}")
+        if self.t_min > self.t0:
+            raise ConfigError("t_min must not exceed t0")
+
+    def temperature(self, iteration: int) -> float:
+        if iteration < 0:
+            raise ConfigError(f"iteration must be >= 0, got {iteration}")
+        return max(self.t0 * self.rate**iteration, self.t_min)
+
+
+@dataclass(frozen=True)
+class LinearSchedule(Schedule):
+    """Linear ramp from ``t0`` to ``t_min`` over ``steps`` iterations."""
+
+    t0: float
+    t_min: float
+    steps: int
+
+    def __post_init__(self):
+        check_positive("t0", self.t0)
+        check_positive("t_min", self.t_min)
+        if self.steps < 1:
+            raise ConfigError(f"steps must be >= 1, got {self.steps}")
+        if self.t_min > self.t0:
+            raise ConfigError("t_min must not exceed t0")
+
+    def temperature(self, iteration: int) -> float:
+        if iteration < 0:
+            raise ConfigError(f"iteration must be >= 0, got {iteration}")
+        if iteration >= self.steps:
+            return self.t_min
+        fraction = iteration / self.steps
+        return self.t0 + (self.t_min - self.t0) * fraction
+
+
+def geometric_for_span(
+    t0: float, t_final: float, iterations: int, t_min: float = 1e-3
+) -> GeometricSchedule:
+    """Geometric schedule hitting ``t_final`` at the last iteration.
+
+    Convenience used by the applications to tune SA to the iteration
+    budget (the paper tunes temperature and annealing rate per dataset).
+    """
+    check_positive("t0", t0)
+    check_positive("t_final", t_final)
+    if iterations < 2:
+        raise ConfigError(f"iterations must be >= 2, got {iterations}")
+    if t_final >= t0:
+        raise ConfigError("t_final must be below t0")
+    rate = (t_final / t0) ** (1.0 / (iterations - 1))
+    return GeometricSchedule(t0=t0, rate=rate, t_min=t_min)

@@ -1,0 +1,143 @@
+"""MCMC convergence and correctness diagnostics.
+
+Tools the paper's quality methodology implies but does not spell out:
+checking that chains converge (energy traces, autocorrelation,
+effective sample size, Gelman-Rubin R-hat across independent chains)
+and that a sampler backend actually targets the Boltzmann distribution
+(exact enumeration on tiny MRFs).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.base import SamplerBackend
+from repro.mrf.annealing import ConstantSchedule
+from repro.mrf.model import GridMRF
+from repro.mrf.solver import MCMCSolver
+from repro.util.errors import ConfigError, DataError
+
+
+def autocorrelation(series: np.ndarray, max_lag: int) -> np.ndarray:
+    """Normalized autocorrelation of a scalar trace for lags 0..max_lag."""
+    trace = np.asarray(series, dtype=np.float64)
+    if trace.ndim != 1 or trace.size < 2:
+        raise DataError("series must be 1-D with at least 2 samples")
+    if not 0 < max_lag < trace.size:
+        raise ConfigError(f"max_lag must be in (0, {trace.size}), got {max_lag}")
+    centered = trace - trace.mean()
+    variance = float(centered @ centered)
+    if variance == 0:
+        return np.concatenate([[1.0], np.zeros(max_lag)])
+    return np.array(
+        [1.0]
+        + [
+            float(centered[:-lag] @ centered[lag:]) / variance
+            for lag in range(1, max_lag + 1)
+        ]
+    )
+
+
+def effective_sample_size(series: np.ndarray, max_lag: int = None) -> float:
+    """ESS via the initial-positive-sequence estimator."""
+    trace = np.asarray(series, dtype=np.float64)
+    n = trace.size
+    if max_lag is None:
+        max_lag = min(n - 1, 200)
+    rho = autocorrelation(trace, max_lag)
+    total = 0.0
+    for lag in range(1, max_lag + 1):
+        if rho[lag] <= 0:
+            break
+        total += rho[lag]
+    return float(n / (1.0 + 2.0 * total))
+
+
+def gelman_rubin(chains: Sequence[np.ndarray]) -> float:
+    """Potential scale reduction factor (R-hat) across scalar chains.
+
+    Values near 1 indicate the chains have mixed; > ~1.1 indicates
+    non-convergence.
+    """
+    arrays = [np.asarray(c, dtype=np.float64) for c in chains]
+    if len(arrays) < 2:
+        raise ConfigError("gelman_rubin needs at least 2 chains")
+    length = min(a.size for a in arrays)
+    if length < 4:
+        raise ConfigError("chains must have at least 4 samples")
+    stacked = np.stack([a[-length:] for a in arrays])
+    m, n = stacked.shape
+    chain_means = stacked.mean(axis=1)
+    within = stacked.var(axis=1, ddof=1).mean()
+    between = n * chain_means.var(ddof=1)
+    if within == 0:
+        return 1.0
+    pooled = (n - 1) / n * within + between / n
+    return float(np.sqrt(pooled / within))
+
+
+def enumerate_boltzmann(model: GridMRF, temperature: float) -> Dict[tuple, float]:
+    """Exact Boltzmann distribution over all labelings of a tiny MRF.
+
+    Only feasible for ``n_labels ** (H*W)`` up to a few million; raises
+    otherwise.  Used to validate sampler correctness end to end.
+    """
+    h, w = model.shape
+    m = model.n_labels
+    count = m ** (h * w)
+    if count > 2_000_000:
+        raise ConfigError(f"state space too large to enumerate: {count}")
+    if temperature <= 0:
+        raise ConfigError(f"temperature must be positive, got {temperature}")
+    energies = {}
+    for assignment in product(range(m), repeat=h * w):
+        labels = np.asarray(assignment, dtype=np.int64).reshape(h, w)
+        energies[assignment] = model.total_energy(labels)
+    values = np.array(list(energies.values()))
+    logits = -values / temperature
+    logits -= logits.max()
+    weights = np.exp(logits)
+    weights /= weights.sum()
+    return dict(zip(energies.keys(), weights))
+
+
+def empirical_state_distribution(
+    model: GridMRF,
+    sampler: SamplerBackend,
+    temperature: float,
+    sweeps: int,
+    burn_in: int,
+    seed: int = 0,
+) -> Dict[tuple, float]:
+    """Visit frequencies of full labelings along a Gibbs chain."""
+    if sweeps <= burn_in:
+        raise ConfigError("sweeps must exceed burn_in")
+    solver = MCMCSolver(
+        model,
+        sampler,
+        ConstantSchedule(temperature),
+        init="random",
+        seed=seed,
+        track_energy=False,
+    )
+    counts: Dict[tuple, int] = {}
+
+    def record(iteration, labels, _temperature):
+        if iteration >= burn_in:
+            key = tuple(int(v) for v in labels.ravel())
+            counts[key] = counts.get(key, 0) + 1
+
+    solver.run(sweeps, callback=record)
+    total = sum(counts.values())
+    return {state: count / total for state, count in counts.items()}
+
+
+def total_variation_distance(
+    p: Dict[tuple, float], q: Dict[tuple, float]
+) -> float:
+    """TV distance between two distributions over discrete states."""
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)

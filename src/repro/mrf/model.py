@@ -1,0 +1,185 @@
+"""First-order grid Markov Random Field model.
+
+The three applications share one MRF shape (Fig. 1): a 4-connected
+pixel grid where the energy of assigning label ``i`` to site ``s`` is
+
+    E(s, i) = unary(s, i) + weight * sum_{n in N4(s)} dist(i, label_n)
+
+with an application-specific unary cost volume and label-distance
+matrix.  The model exposes vectorized per-colour-class energy
+evaluation for the chromatic Gibbs sweep in :mod:`repro.mrf.solver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.errors import ConfigError, DataError
+
+
+@dataclass
+class GridMRF:
+    """A pairwise MRF on an H x W 4-connected grid.
+
+    Parameters
+    ----------
+    unary:
+        Cost volume of shape ``(H, W, M)``: the singleton energy of each
+        label at each pixel.
+    pairwise:
+        Label-distance matrix of shape ``(M, M)`` (the doubleton energy
+        before weighting); built by
+        :func:`repro.core.distance.label_distance_matrix`.
+    weight:
+        Doubleton weight multiplying the pairwise term.
+    connectivity:
+        Neighbourhood order: 4 (first-order, the paper's model) or 8
+        (second-order, adding the diagonals — an extension for the
+        "wider application domain" future work).  8-connectivity needs
+        a 4-colour sweep schedule (see :func:`coloring_masks`).
+    """
+
+    unary: np.ndarray
+    pairwise: np.ndarray
+    weight: float
+    connectivity: int = 4
+    _padded_pairwise: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self):
+        self.unary = np.ascontiguousarray(self.unary, dtype=np.float64)
+        self.pairwise = np.ascontiguousarray(self.pairwise, dtype=np.float64)
+        if self.unary.ndim != 3:
+            raise DataError(f"unary must be (H, W, M), got shape {self.unary.shape}")
+        m = self.unary.shape[2]
+        if self.pairwise.shape != (m, m):
+            raise DataError(
+                f"pairwise must be ({m}, {m}) to match unary, got {self.pairwise.shape}"
+            )
+        if not np.allclose(self.pairwise, self.pairwise.T):
+            raise DataError("pairwise distance matrix must be symmetric")
+        if self.weight < 0:
+            raise ConfigError(f"weight must be >= 0, got {self.weight}")
+        if self.connectivity not in (4, 8):
+            raise ConfigError(f"connectivity must be 4 or 8, got {self.connectivity}")
+        # Row M is the "missing neighbour" sentinel contributing zero.
+        padded = np.zeros((m + 1, m), dtype=np.float64)
+        padded[:m] = self.pairwise
+        self._padded_pairwise = padded
+
+    @property
+    def shape(self) -> tuple:
+        """(H, W) grid shape."""
+        return self.unary.shape[:2]
+
+    @property
+    def n_labels(self) -> int:
+        """Number of labels M."""
+        return self.unary.shape[2]
+
+    def max_energy(self) -> float:
+        """Upper bound on any site energy; used as the RSU full scale."""
+        return float(
+            self.unary.max() + self.connectivity * self.weight * self.pairwise.max()
+        )
+
+    def _neighbor_labels(self, labels: np.ndarray) -> np.ndarray:
+        """Stack of neighbour labels with sentinel M outside the grid.
+
+        Returns shape ``(connectivity, H, W)``; the first four entries
+        are up, down, left, right, followed by the diagonals when
+        ``connectivity == 8``.
+        """
+        h, w = labels.shape
+        m = self.n_labels
+        padded = np.full((h + 2, w + 2), m, dtype=np.int64)
+        padded[1:-1, 1:-1] = labels
+        stacks = [
+            padded[0:-2, 1:-1],  # up
+            padded[2:, 1:-1],  # down
+            padded[1:-1, 0:-2],  # left
+            padded[1:-1, 2:],  # right
+        ]
+        if self.connectivity == 8:
+            stacks += [
+                padded[0:-2, 0:-2],  # up-left
+                padded[0:-2, 2:],  # up-right
+                padded[2:, 0:-2],  # down-left
+                padded[2:, 2:],  # down-right
+            ]
+        return np.stack(stacks)
+
+    def site_energies(self, labels: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Energies of every label at the masked sites.
+
+        Parameters
+        ----------
+        labels:
+            Current label grid, shape ``(H, W)``.
+        mask:
+            Boolean grid selecting the sites to evaluate (one colour
+            class of the checkerboard).
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(mask.sum(), M)`` energies in raster order of the
+            masked sites.
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != self.shape:
+            raise DataError(f"labels shape {labels.shape} != grid shape {self.shape}")
+        neighbors = self._neighbor_labels(labels)[:, mask]  # (connectivity, N)
+        pair = self._padded_pairwise[neighbors].sum(axis=0)  # (N, M)
+        return self.unary[mask] + self.weight * pair
+
+    def total_energy(self, labels: np.ndarray) -> float:
+        """Total MRF energy of a labeling (each edge counted once)."""
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != self.shape:
+            raise DataError(f"labels shape {labels.shape} != grid shape {self.shape}")
+        h, w = self.shape
+        rows = np.arange(h)[:, None]
+        cols = np.arange(w)[None, :]
+        unary_sum = float(self.unary[rows, cols, labels].sum())
+        horizontal = self.pairwise[labels[:, :-1], labels[:, 1:]].sum()
+        vertical = self.pairwise[labels[:-1, :], labels[1:, :]].sum()
+        total = float(horizontal + vertical)
+        if self.connectivity == 8:
+            main_diag = self.pairwise[labels[:-1, :-1], labels[1:, 1:]].sum()
+            anti_diag = self.pairwise[labels[:-1, 1:], labels[1:, :-1]].sum()
+            total += float(main_diag + anti_diag)
+        return unary_sum + self.weight * total
+
+
+def checkerboard_masks(shape: tuple) -> tuple:
+    """The two conditionally independent colour classes of a 4-grid."""
+    h, w = shape
+    if h < 1 or w < 1:
+        raise DataError(f"grid shape must be positive, got {shape}")
+    rows = np.arange(h)[:, None]
+    cols = np.arange(w)[None, :]
+    even = (rows + cols) % 2 == 0
+    return even, ~even
+
+
+def coloring_masks(shape: tuple, connectivity: int = 4) -> tuple:
+    """Conditionally independent colour classes for a grid sweep.
+
+    4-connectivity admits the two-colour checkerboard; 8-connectivity
+    needs four colours (the 2x2 block pattern) so no two same-colour
+    sites share an edge or diagonal.
+    """
+    if connectivity == 4:
+        return checkerboard_masks(shape)
+    if connectivity != 8:
+        raise DataError(f"connectivity must be 4 or 8, got {connectivity}")
+    h, w = shape
+    if h < 1 or w < 1:
+        raise DataError(f"grid shape must be positive, got {shape}")
+    rows = np.arange(h)[:, None] % 2
+    cols = np.arange(w)[None, :] % 2
+    return tuple(
+        (rows == r) & (cols == c) for r in (0, 1) for c in (0, 1)
+    )

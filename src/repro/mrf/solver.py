@@ -1,0 +1,148 @@
+"""MCMC solver: chromatic Gibbs sweeps with a pluggable sampler backend.
+
+This is the outer loop of Fig. 1.  Each iteration performs one full
+sweep of the grid in checkerboard order: all even-parity sites are
+resampled simultaneously (they are conditionally independent given the
+odd sites), then all odd sites.  The per-site categorical draw is
+delegated to a :class:`~repro.core.base.SamplerBackend`, so the same
+solver runs the float software baseline, either RSU-G design, or a
+pseudo-RNG unit — exactly how the paper's functional simulator swaps
+the sampling inner loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.base import SamplerBackend
+from repro.mrf.annealing import Schedule
+from repro.mrf.model import GridMRF, coloring_masks
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an MCMC run."""
+
+    labels: np.ndarray
+    energy_history: List[float] = field(default_factory=list)
+    temperature_history: List[float] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        """Number of completed sweeps."""
+        return len(self.energy_history)
+
+    @property
+    def final_energy(self) -> float:
+        """Total MRF energy after the last sweep."""
+        if not self.energy_history:
+            raise ConfigError("no iterations were run")
+        return self.energy_history[-1]
+
+
+class MCMCSolver:
+    """Gibbs/simulated-annealing solver over a :class:`GridMRF`.
+
+    Parameters
+    ----------
+    model:
+        The MRF to sample.
+    sampler:
+        Backend drawing labels from per-site energies.
+    schedule:
+        Annealing schedule supplying the per-iteration temperature.
+    init:
+        Initial labeling: ``"unary"`` (argmin of the unary term, the
+        usual data-cost initialization), ``"random"``, or an explicit
+        ``(H, W)`` integer array.
+    seed:
+        Seed for the solver's own randomness (initialization).
+    track_energy:
+        Record the total energy after every sweep.  Costs one full
+        energy evaluation per iteration; disable for benchmarks.
+    """
+
+    def __init__(
+        self,
+        model: GridMRF,
+        sampler: SamplerBackend,
+        schedule: Schedule,
+        init: object = "unary",
+        seed: int = 0,
+        track_energy: bool = True,
+    ):
+        self.model = model
+        self.sampler = sampler
+        self.schedule = schedule
+        self.track_energy = track_energy
+        self._rng = np.random.default_rng(seed)
+        self._masks = coloring_masks(model.shape, model.connectivity)
+        self._init = init
+
+    def initial_labels(self) -> np.ndarray:
+        """Build the starting labeling according to ``init``."""
+        if isinstance(self._init, str):
+            if self._init == "unary":
+                return np.argmin(self.model.unary, axis=2).astype(np.int64)
+            if self._init == "random":
+                return self._rng.integers(
+                    0, self.model.n_labels, size=self.model.shape, dtype=np.int64
+                )
+            raise ConfigError(f"unknown init {self._init!r}")
+        labels = np.asarray(self._init, dtype=np.int64)
+        if labels.shape != self.model.shape:
+            raise ConfigError(
+                f"init labels shape {labels.shape} != grid shape {self.model.shape}"
+            )
+        if labels.min() < 0 or labels.max() >= self.model.n_labels:
+            raise ConfigError("init labels out of range")
+        return labels.copy()
+
+    def sweep(self, labels: np.ndarray, temperature: float) -> np.ndarray:
+        """One full checkerboard sweep, in place; returns ``labels``.
+
+        Backends that set ``wants_current_labels`` (e.g. the
+        Metropolis-Hastings samplers, whose proposal is relative to the
+        current state) receive the sites' current labels through
+        ``sample_given_current``.
+        """
+        for mask in self._masks:
+            energies = self.model.site_energies(labels, mask)
+            if getattr(self.sampler, "wants_current_labels", False):
+                labels[mask] = self.sampler.sample_given_current(
+                    energies, temperature, labels[mask]
+                )
+            else:
+                labels[mask] = self.sampler.sample(energies, temperature)
+        return labels
+
+    def run(
+        self,
+        iterations: int,
+        callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
+    ) -> SolveResult:
+        """Run ``iterations`` sweeps and return the result.
+
+        ``callback(iteration, labels, temperature)`` is invoked after
+        each sweep (labels passed by reference; copy if retained).
+        """
+        if iterations < 1:
+            raise ConfigError(f"iterations must be >= 1, got {iterations}")
+        labels = self.initial_labels()
+        result = SolveResult(labels=labels)
+        for k in range(iterations):
+            temperature = self.schedule.temperature(k)
+            self.sweep(labels, temperature)
+            result.temperature_history.append(temperature)
+            if self.track_energy:
+                result.energy_history.append(self.model.total_energy(labels))
+            else:
+                result.energy_history.append(float("nan"))
+            if callback is not None:
+                callback(k, labels, temperature)
+        result.labels = labels
+        return result

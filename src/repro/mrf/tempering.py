@@ -1,0 +1,145 @@
+"""Parallel tempering (replica exchange) over grid MRFs.
+
+Another "more than Gibbs sampling" extension (Sec. IV-D): several
+chains run at a ladder of fixed temperatures; periodically, adjacent
+chains propose to swap their states with the Metropolis acceptance
+
+    P(swap) = min(1, exp((1/T_i - 1/T_j) * (E_i - E_j))),
+
+which preserves each chain's stationary distribution while letting the
+cold chain escape local minima through the hot ones.  Each chain uses
+an independent sampler backend, so tempering runs identically on the
+software baseline or on RSU-G hardware models (one RSU-G per replica —
+exactly the multi-unit layouts of Sec. IV-B.6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.core.base import SamplerBackend
+from repro.mrf.annealing import ConstantSchedule
+from repro.mrf.model import GridMRF
+from repro.mrf.solver import MCMCSolver
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class TemperingResult:
+    """Outcome of a replica-exchange run."""
+
+    labels: np.ndarray  # the coldest chain's final state
+    temperatures: List[float]
+    energy_history: List[List[float]]  # per sweep, per chain
+    swap_attempts: int = 0
+    swaps_accepted: int = 0
+
+    @property
+    def swap_rate(self) -> float:
+        """Fraction of proposed swaps accepted."""
+        if self.swap_attempts == 0:
+            return 0.0
+        return self.swaps_accepted / self.swap_attempts
+
+    @property
+    def final_energy(self) -> float:
+        """Cold-chain energy after the last sweep."""
+        return self.energy_history[-1][0]
+
+
+class ParallelTempering:
+    """Replica-exchange sampler over a shared :class:`GridMRF`.
+
+    Parameters
+    ----------
+    model:
+        The MRF all replicas sample.
+    sampler_factory:
+        Called once per replica (with the replica index) to build its
+        backend — independent entropy per chain.
+    temperatures:
+        Ladder, coldest first; must be strictly increasing.
+    swap_interval:
+        Sweeps between swap rounds.
+    """
+
+    def __init__(
+        self,
+        model: GridMRF,
+        sampler_factory: Callable[[int], SamplerBackend],
+        temperatures: Sequence[float],
+        swap_interval: int = 1,
+        seed: int = 0,
+    ):
+        temps = list(temperatures)
+        if len(temps) < 2:
+            raise ConfigError("need at least two replicas")
+        if any(t <= 0 for t in temps):
+            raise ConfigError("temperatures must be positive")
+        if any(b <= a for a, b in zip(temps, temps[1:])):
+            raise ConfigError("temperatures must be strictly increasing")
+        if swap_interval < 1:
+            raise ConfigError("swap_interval must be >= 1")
+        self.model = model
+        self.temperatures = temps
+        self.swap_interval = swap_interval
+        self._rng = np.random.default_rng(seed)
+        self._solvers = [
+            MCMCSolver(
+                model,
+                sampler_factory(index),
+                ConstantSchedule(temperature),
+                init="random",
+                seed=seed + index,
+                track_energy=False,
+            )
+            for index, temperature in enumerate(temps)
+        ]
+
+    def run(self, sweeps: int) -> TemperingResult:
+        """Run all replicas for ``sweeps`` sweeps with periodic swaps."""
+        if sweeps < 1:
+            raise ConfigError("sweeps must be >= 1")
+        states = [solver.initial_labels() for solver in self._solvers]
+        result = TemperingResult(
+            labels=states[0], temperatures=self.temperatures, energy_history=[]
+        )
+        for sweep_index in range(sweeps):
+            energies = []
+            for solver, temperature, labels in zip(
+                self._solvers, self.temperatures, states
+            ):
+                solver.sweep(labels, temperature)
+                energies.append(self.model.total_energy(labels))
+            if (sweep_index + 1) % self.swap_interval == 0:
+                # Alternate even/odd adjacent pairs across rounds.
+                start = (sweep_index // self.swap_interval) % 2
+                for i in range(start, len(states) - 1, 2):
+                    result.swap_attempts += 1
+                    if self._accept_swap(energies[i], energies[i + 1], i):
+                        states[i], states[i + 1] = states[i + 1], states[i]
+                        energies[i], energies[i + 1] = energies[i + 1], energies[i]
+                        result.swaps_accepted += 1
+            result.energy_history.append(energies)
+        result.labels = states[0]
+        return result
+
+    def _accept_swap(self, energy_cold: float, energy_hot: float, index: int) -> bool:
+        beta_cold = 1.0 / self.temperatures[index]
+        beta_hot = 1.0 / self.temperatures[index + 1]
+        log_alpha = (beta_cold - beta_hot) * (energy_cold - energy_hot)
+        return math.log(self._rng.random() + 1e-300) < min(0.0, log_alpha)
+
+
+def geometric_ladder(t_cold: float, t_hot: float, replicas: int) -> List[float]:
+    """Geometrically spaced temperature ladder, coldest first."""
+    if t_cold <= 0 or t_hot <= t_cold:
+        raise ConfigError("need 0 < t_cold < t_hot")
+    if replicas < 2:
+        raise ConfigError("replicas must be >= 2")
+    ratio = (t_hot / t_cold) ** (1.0 / (replicas - 1))
+    return [t_cold * ratio**k for k in range(replicas)]

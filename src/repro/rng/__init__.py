@@ -1,0 +1,30 @@
+"""Pseudo-random number generator substrate.
+
+The paper compares the RSU-G against pure-CMOS sampling units built on a
+19-bit LFSR, a Mersenne Twister (mt19937), and Intel's DRNG (Table IV).
+This package implements the two pseudo-RNGs from scratch, plus a common
+:class:`BitSource` protocol used by the inverse-CDF sampler backend in
+:mod:`repro.core.cdf_sampler`.
+"""
+
+from repro.rng.lfsr import LFSR, TAPS_BY_WIDTH, cycle_states
+from repro.rng.mt19937 import MT19937
+from repro.rng.streams import (
+    BitSource,
+    LFSRBitSource,
+    MTBitSource,
+    NumpyBitSource,
+    uniform_from_bits,
+)
+
+__all__ = [
+    "LFSR",
+    "TAPS_BY_WIDTH",
+    "cycle_states",
+    "MT19937",
+    "BitSource",
+    "LFSRBitSource",
+    "MTBitSource",
+    "NumpyBitSource",
+    "uniform_from_bits",
+]

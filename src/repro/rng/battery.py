@@ -1,0 +1,132 @@
+"""Statistical quality battery for bit streams.
+
+The paper flags the 19-bit LFSR's short period as a quality risk and
+pseudo-RNGs' lack of security guarantees (Sec. IV-C).  This battery
+quantifies stream quality with classic tests — monobit balance, runs,
+serial correlation, block chi-square, and period detection — and is
+applied to the LFSR, the MT19937 and the RSU's TTF-derived entropy in
+the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.util.errors import ConfigError, DataError
+
+
+@dataclass(frozen=True)
+class TestOutcome:
+    """One statistical test's result."""
+
+    name: str
+    statistic: float
+    p_value: float
+
+    def passed(self, alpha: float = 0.01) -> bool:
+        """True when the stream is consistent with randomness."""
+        return self.p_value >= alpha
+
+
+def _check_bits(bits: np.ndarray, minimum: int) -> np.ndarray:
+    arr = np.asarray(bits)
+    if arr.ndim != 1 or arr.size < minimum:
+        raise DataError(f"need a 1-D stream of at least {minimum} bits")
+    if not set(np.unique(arr)).issubset({0, 1}):
+        raise DataError("stream must contain only 0/1 values")
+    return arr.astype(np.int64)
+
+
+def monobit_test(bits: np.ndarray) -> TestOutcome:
+    """NIST frequency (monobit) test: are ones and zeros balanced?"""
+    arr = _check_bits(bits, 100)
+    s = abs(2 * arr.sum() - arr.size) / math.sqrt(arr.size)
+    p_value = math.erfc(s / math.sqrt(2))
+    return TestOutcome("monobit", float(s), float(p_value))
+
+
+def runs_test(bits: np.ndarray) -> TestOutcome:
+    """NIST runs test: is the number of 0/1 runs as expected?"""
+    arr = _check_bits(bits, 100)
+    pi = arr.mean()
+    if abs(pi - 0.5) >= 2.0 / math.sqrt(arr.size):
+        return TestOutcome("runs", float("inf"), 0.0)  # fails the precondition
+    runs = 1 + int((arr[1:] != arr[:-1]).sum())
+    n = arr.size
+    expected = 2 * n * pi * (1 - pi)
+    statistic = abs(runs - expected) / (2 * math.sqrt(2 * n) * pi * (1 - pi))
+    p_value = math.erfc(statistic / math.sqrt(2))
+    return TestOutcome("runs", float(statistic), float(p_value))
+
+
+def serial_correlation_test(bits: np.ndarray, lag: int = 1) -> TestOutcome:
+    """Lag-``lag`` autocorrelation of the stream, normal under H0."""
+    arr = _check_bits(bits, 100)
+    if lag < 1 or lag >= arr.size:
+        raise ConfigError(f"lag must be in [1, {arr.size}), got {lag}")
+    x = arr.astype(np.float64) - arr.mean()
+    denom = float(x @ x)
+    if denom == 0:
+        return TestOutcome("serial_correlation", float("inf"), 0.0)
+    rho = float(x[:-lag] @ x[lag:]) / denom
+    z = rho * math.sqrt(arr.size - lag)
+    p_value = math.erfc(abs(z) / math.sqrt(2))
+    return TestOutcome("serial_correlation", float(z), float(p_value))
+
+
+def block_chi_square_test(bits: np.ndarray, block_bits: int = 4) -> TestOutcome:
+    """Chi-square uniformity of non-overlapping ``block_bits`` words."""
+    arr = _check_bits(bits, 100)
+    if not 1 <= block_bits <= 16:
+        raise ConfigError(f"block_bits must be in [1, 16], got {block_bits}")
+    n_blocks = arr.size // block_bits
+    if n_blocks < 5 * (1 << block_bits):
+        raise DataError("stream too short for the requested block size")
+    words = arr[: n_blocks * block_bits].reshape(n_blocks, block_bits)
+    weights = np.int64(1) << np.arange(block_bits - 1, -1, -1, dtype=np.int64)
+    values = words @ weights
+    counts = np.bincount(values, minlength=1 << block_bits)
+    expected = n_blocks / (1 << block_bits)
+    chi2 = float(((counts - expected) ** 2 / expected).sum())
+    dof = (1 << block_bits) - 1
+    p_value = _chi2_sf(chi2, dof)
+    return TestOutcome("block_chi_square", chi2, p_value)
+
+
+def detect_period(bits: np.ndarray, max_period: int) -> Optional[int]:
+    """Smallest period <= max_period, or None if aperiodic in the window.
+
+    Detects the LFSR's short cycle: the stream must be at least twice
+    ``max_period`` long.
+    """
+    arr = _check_bits(bits, 4)
+    if max_period < 1 or arr.size < 2 * max_period:
+        raise ConfigError("stream must be at least 2 * max_period bits")
+    for period in range(1, max_period + 1):
+        if np.array_equal(arr[: arr.size - period], arr[period:]):
+            return period
+    return None
+
+
+def _chi2_sf(value: float, dof: int) -> float:
+    """Chi-square survival function via the regularized gamma function."""
+    from scipy import special
+
+    return float(special.gammaincc(dof / 2.0, value / 2.0))
+
+
+def run_battery(bits: np.ndarray, block_bits: int = 4) -> Dict[str, TestOutcome]:
+    """All tests as a dict keyed by test name."""
+    return {
+        outcome.name: outcome
+        for outcome in (
+            monobit_test(bits),
+            runs_test(bits),
+            serial_correlation_test(bits),
+            block_chi_square_test(bits, block_bits),
+        )
+    }

@@ -1,0 +1,128 @@
+"""Fibonacci linear-feedback shift registers.
+
+The paper's most aggressive pseudo-RNG baseline is a 19-bit LFSR
+(Table IV).  A maximal-length LFSR of width ``w`` cycles through all
+``2**w - 1`` nonzero states, which is why the paper flags its "relatively
+short period" as a quality risk for applications beyond the three it
+evaluates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+#: Maximal-length tap sets (1-indexed from the output bit) for common
+#: widths, from the standard table of primitive polynomials over GF(2).
+TAPS_BY_WIDTH = {
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    11: (11, 9),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    19: (19, 18, 17, 14),
+    23: (23, 18),
+    31: (31, 28),
+}
+
+
+class LFSR:
+    """Fibonacci LFSR emitting one bit per :meth:`step`.
+
+    Parameters
+    ----------
+    width:
+        Register width in bits.  Must appear in :data:`TAPS_BY_WIDTH`
+        unless explicit ``taps`` are supplied.
+    seed:
+        Initial register state; any nonzero value modulo ``2**width``.
+    taps:
+        Optional explicit tap positions (1-indexed, position ``width`` is
+        the oldest bit).
+    """
+
+    def __init__(self, width: int = 19, seed: int = 1, taps: tuple = ()):
+        if width < 2:
+            raise ConfigError(f"LFSR width must be >= 2, got {width}")
+        if not taps:
+            if width not in TAPS_BY_WIDTH:
+                raise ConfigError(
+                    f"no known maximal taps for width {width}; pass taps explicitly"
+                )
+            taps = TAPS_BY_WIDTH[width]
+        if any(t < 1 or t > width for t in taps):
+            raise ConfigError(f"taps {taps} out of range for width {width}")
+        self.width = width
+        self.taps = tuple(taps)
+        self._mask = (1 << width) - 1
+        state = seed & self._mask
+        if state == 0:
+            raise ConfigError("LFSR seed must be nonzero modulo 2**width")
+        self._state = state
+
+    @property
+    def state(self) -> int:
+        """Current register contents."""
+        return self._state
+
+    @property
+    def period(self) -> int:
+        """Period of a maximal-length register of this width."""
+        return (1 << self.width) - 1
+
+    def step(self) -> int:
+        """Advance one clock and return the output bit (LSB before shift).
+
+        Fibonacci right-shift form: for the primitive polynomial
+        ``x^w + x^t2 + ... + 1`` (taps ``(w, t2, ...)``) the feedback is
+        the XOR of bits ``w - tap`` — tap ``w`` contributes the output
+        bit itself, keeping the update invertible.
+        """
+        out = self._state & 1
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self._state >> (self.width - tap)) & 1
+        self._state = (self._state >> 1) | (feedback << (self.width - 1))
+        return out
+
+    def bits(self, count: int) -> np.ndarray:
+        """Return the next ``count`` output bits as a uint8 array."""
+        return np.fromiter((self.step() for _ in range(count)), dtype=np.uint8, count=count)
+
+    def words(self, count: int, bits_per_word: int) -> np.ndarray:
+        """Pack the next ``count * bits_per_word`` bits MSB-first into ints."""
+        stream = self.bits(count * bits_per_word).reshape(count, bits_per_word)
+        weights = np.int64(1) << np.arange(bits_per_word - 1, -1, -1, dtype=np.int64)
+        return stream.astype(np.int64) @ weights
+
+    def uniforms(self, count: int, bits_per_word: int = 19) -> np.ndarray:
+        """Return ``count`` floats in [0, 1) built from packed words."""
+        return self.words(count, bits_per_word) / float(1 << bits_per_word)
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            yield self.step()
+
+
+def cycle_states(width: int, seed: int = 1, limit: int = 1 << 20) -> List[int]:
+    """Enumerate register states until the cycle closes (testing helper).
+
+    Raises :class:`ConfigError` if the cycle does not close within
+    ``limit`` steps, which would indicate a non-maximal tap set escaping
+    its orbit — useful in tests validating :data:`TAPS_BY_WIDTH`.
+    """
+    reg = LFSR(width, seed)
+    first = reg.state
+    states = [first]
+    for _ in range(limit):
+        reg.step()
+        if reg.state == first:
+            return states
+        states.append(reg.state)
+    raise ConfigError(f"cycle did not close within {limit} steps for width {width}")

@@ -1,0 +1,61 @@
+"""Uniform-variate sources shared by sampler backends.
+
+A :class:`BitSource` is anything that can produce a vector of floats in
+[0, 1).  The NumPy generator is the default (and models an ideal true
+RNG such as the RSU's RET entropy or Intel's DRNG); the LFSR and
+MT19937 wrappers expose the pseudo-RNG baselines through the same
+protocol so the inverse-CDF sampler can run on any of them.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.rng.lfsr import LFSR
+from repro.rng.mt19937 import MT19937
+
+
+class BitSource(Protocol):
+    """Protocol for uniform-variate producers."""
+
+    def uniforms(self, count: int) -> np.ndarray:
+        """Return ``count`` floats in the half-open interval [0, 1)."""
+        ...
+
+
+class NumpyBitSource:
+    """Ideal uniform source backed by :class:`numpy.random.Generator`."""
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+
+    def uniforms(self, count: int) -> np.ndarray:
+        return self._rng.random(count)
+
+
+class LFSRBitSource:
+    """Uniform source built from a :class:`repro.rng.LFSR`."""
+
+    def __init__(self, lfsr: LFSR, bits_per_word: int = 19):
+        self._lfsr = lfsr
+        self._bits_per_word = bits_per_word
+
+    def uniforms(self, count: int) -> np.ndarray:
+        return self._lfsr.uniforms(count, self._bits_per_word)
+
+
+class MTBitSource:
+    """Uniform source built from the from-scratch :class:`MT19937`."""
+
+    def __init__(self, mt: MT19937):
+        self._mt = mt
+
+    def uniforms(self, count: int) -> np.ndarray:
+        return self._mt.uniforms(count)
+
+
+def uniform_from_bits(words: np.ndarray, bits: int) -> np.ndarray:
+    """Map integer ``words`` with ``bits`` of entropy onto [0, 1)."""
+    return np.asarray(words, dtype=np.float64) / float(1 << bits)

@@ -1,0 +1,46 @@
+"""Structural (cycle-driven) microarchitecture simulators of the RSU-G.
+
+While :mod:`repro.core.pipeline` provides closed-form timing, this
+package *executes* the two pipelines cycle by cycle:
+
+* :class:`LegacyMachine` — the previous design (Fig. 2b): label
+  decrement, energy computation, energy-to-intensity LUT, replicated
+  multi-cycle RET sampling, selection; the LUT rewrite on a temperature
+  update stalls the whole pipeline.
+* :class:`NewMachine` — the new design (Fig. 10): the energy FIFO
+  decouples the front end (variable v+1) from the back end (variable
+  v); min-energy tracking and scaling subtraction feed the
+  comparison-based converter; the RET circuit cycles a QDLED counter
+  over replicated network sets whose reuse interval is checked every
+  cycle; temperature updates stream into shadow boundary registers with
+  zero stalls.
+
+Both machines draw their TTFs from the same functional
+:class:`~repro.core.ttf.TTFSampler`, so their outputs are
+distributionally identical to the functional simulators — the tests
+assert that, plus the structural invariants (no structural hazards, at
+most two variables resident in the FIFO, no RET-network reuse before
+the residual-excitation rest interval).
+"""
+
+from repro.uarch.backend import CycleCountingBackend, MachineBackend
+from repro.uarch.trace import PipelineTrace, TraceEvent
+from repro.uarch.machines import (
+    LegacyMachine,
+    MachineResult,
+    NewMachine,
+    VariableJob,
+    jobs_from_energies,
+)
+
+__all__ = [
+    "PipelineTrace",
+    "TraceEvent",
+    "CycleCountingBackend",
+    "MachineBackend",
+    "LegacyMachine",
+    "MachineResult",
+    "NewMachine",
+    "VariableJob",
+    "jobs_from_energies",
+]

@@ -1,0 +1,106 @@
+"""Pipeline event tracing and text rendering.
+
+A :class:`PipelineTrace` collects ``(cycle, stage, variable, label)``
+events from a structural machine and renders them as a text pipeline
+diagram — one row per label evaluation, one column per cycle, stage
+letters marking where the evaluation was each cycle.  Useful for
+documentation, debugging, and the ``examples/uarch_trace.py`` demo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.errors import ConfigError
+
+#: Stage display letters, in pipeline order.
+STAGE_LETTERS = {
+    "issue": "I",
+    "energy": "E",
+    "convert": "C",
+    "fifo": "F",
+    "scale": "S",
+    "ret": "R",
+    "select": "W",
+    "stall": "x",
+}
+
+
+@dataclass
+class TraceEvent:
+    """One pipeline occurrence."""
+
+    cycle: int
+    stage: str
+    variable: int
+    label: int
+
+
+@dataclass
+class PipelineTrace:
+    """Collects events; bounded to keep long runs cheap."""
+
+    max_events: int = 100_000
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(self, cycle: int, stage: str, variable: int, label: int) -> None:
+        """Append one event (silently drops beyond ``max_events``)."""
+        if stage not in STAGE_LETTERS:
+            raise ConfigError(f"unknown stage {stage!r}")
+        if len(self.events) < self.max_events:
+            self.events.append(TraceEvent(cycle, stage, variable, label))
+
+    def by_evaluation(self) -> Dict[Tuple[int, int], List[TraceEvent]]:
+        """Events grouped per (variable, label), cycle-ordered."""
+        grouped: Dict[Tuple[int, int], List[TraceEvent]] = {}
+        for event in self.events:
+            grouped.setdefault((event.variable, event.label), []).append(event)
+        for events in grouped.values():
+            events.sort(key=lambda e: e.cycle)
+        return grouped
+
+    def last_cycle(self) -> int:
+        """Largest recorded cycle."""
+        if not self.events:
+            raise ConfigError("trace is empty")
+        return max(event.cycle for event in self.events)
+
+    def render(
+        self,
+        max_rows: int = 24,
+        start_cycle: int = 0,
+        end_cycle: Optional[int] = None,
+    ) -> str:
+        """Text pipeline diagram: rows = evaluations, columns = cycles."""
+        if not self.events:
+            raise ConfigError("trace is empty")
+        end = self.last_cycle() if end_cycle is None else end_cycle
+        if end < start_cycle:
+            raise ConfigError("end_cycle must be >= start_cycle")
+        width = end - start_cycle + 1
+        lines = [
+            "evaluation  " + "".join(str(c % 10) for c in range(start_cycle, end + 1))
+        ]
+        grouped = self.by_evaluation()
+        for (variable, label), events in list(grouped.items())[:max_rows]:
+            row = [" "] * width
+            for event in events:
+                if start_cycle <= event.cycle <= end:
+                    row[event.cycle - start_cycle] = STAGE_LETTERS[event.stage]
+            lines.append(f"v{variable:<3}l{label:<4}  " + "".join(row))
+        if len(grouped) > max_rows:
+            lines.append(f"... ({len(grouped) - max_rows} more evaluations)")
+        legend = "  ".join(f"{letter}={name}" for name, letter in STAGE_LETTERS.items())
+        lines.append(legend)
+        return "\n".join(lines)
+
+    def occupancy(self, stage: str) -> Dict[int, int]:
+        """Events per cycle for one stage (utilization profile)."""
+        if stage not in STAGE_LETTERS:
+            raise ConfigError(f"unknown stage {stage!r}")
+        counts: Dict[int, int] = {}
+        for event in self.events:
+            if event.stage == stage:
+                counts[event.cycle] = counts.get(event.cycle, 0) + 1
+        return counts

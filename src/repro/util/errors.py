@@ -1,0 +1,17 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch one base type at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An RSU or solver configuration is invalid or inconsistent."""
+
+
+class DataError(ReproError, ValueError):
+    """A dataset or input array does not satisfy a required contract."""

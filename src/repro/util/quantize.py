@@ -1,0 +1,81 @@
+"""Fixed-point quantization helpers.
+
+The RSU-G pipeline works with small unsigned integers: 8-bit energies,
+``Lambda_bits``-wide decay-rate codes, ``Time_bits``-wide time bins.
+These helpers centralize the rounding/clamping conventions so every
+stage model quantizes the same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+
+def unsigned_max(bits: int) -> int:
+    """Largest value representable in an unsigned ``bits``-wide field."""
+    if bits < 1:
+        raise ConfigError(f"bit width must be >= 1, got {bits}")
+    return (1 << bits) - 1
+
+
+def clamp(values: np.ndarray, low: float, high: float) -> np.ndarray:
+    """Clamp ``values`` into ``[low, high]`` (returns a new array)."""
+    if low > high:
+        raise ConfigError(f"clamp range is empty: [{low}, {high}]")
+    return np.clip(values, low, high)
+
+
+def quantize_unsigned(values: np.ndarray, bits: int) -> np.ndarray:
+    """Round ``values`` to the nearest integer and clamp to ``bits`` wide.
+
+    Negative inputs clamp to zero; values above the field maximum clamp
+    to the maximum.  The result dtype is ``int64`` so downstream integer
+    arithmetic cannot overflow for any supported bit width.
+    """
+    top = unsigned_max(bits)
+    rounded = np.rint(np.asarray(values, dtype=np.float64))
+    return np.clip(rounded, 0, top).astype(np.int64)
+
+
+def quantize_to_bits(values: np.ndarray, bits: int, full_scale: float) -> np.ndarray:
+    """Map ``values`` in ``[0, full_scale]`` onto the unsigned grid.
+
+    ``full_scale`` maps to the field maximum ``2**bits - 1``.  This is the
+    scaling an energy-computation stage applies before emitting an
+    ``Energy_bits``-wide value.
+    """
+    if full_scale <= 0:
+        raise ConfigError(f"full_scale must be positive, got {full_scale}")
+    top = unsigned_max(bits)
+    scaled = np.asarray(values, dtype=np.float64) * (top / full_scale)
+    return quantize_unsigned(scaled, bits)
+
+
+def pow2_floor(values: np.ndarray) -> np.ndarray:
+    """Largest power of two that is <= each positive value; 0 stays 0.
+
+    Used by the 2^n lambda approximation: an integer decay-rate code is
+    truncated down to a power of two so the RET circuit needs only
+    ``Lambda_bits`` unique concentrations.
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    if np.any(arr < 0):
+        raise ConfigError("pow2_floor expects non-negative integers")
+    out = np.zeros_like(arr)
+    positive = arr > 0
+    exponents = np.floor(np.log2(arr[positive].astype(np.float64))).astype(np.int64)
+    out[positive] = np.int64(1) << exponents
+    return out
+
+
+def nearest_pow2(values: np.ndarray) -> np.ndarray:
+    """Power of two nearest to each positive value (ties round down); 0 stays 0."""
+    arr = np.asarray(values, dtype=np.int64)
+    if np.any(arr < 0):
+        raise ConfigError("nearest_pow2 expects non-negative integers")
+    lower = pow2_floor(arr)
+    upper = np.where(arr > 0, lower * 2, 0)
+    use_upper = (upper - arr) < (arr - lower)
+    return np.where(use_upper, upper, lower)

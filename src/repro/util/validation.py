@@ -1,0 +1,32 @@
+"""Small argument-validation helpers used across the package."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigError, DataError
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be > 0, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise :class:`ConfigError` unless ``value`` lies in the open (0, 1)."""
+    if not 0.0 < value < 1.0:
+        raise ConfigError(f"{name} must be in (0, 1), got {value!r}")
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> None:
+    """Raise :class:`ConfigError` unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ConfigError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def check_shape_2d(name: str, array: np.ndarray) -> None:
+    """Raise :class:`DataError` unless ``array`` is a non-empty 2-D array."""
+    arr = np.asarray(array)
+    if arr.ndim != 2 or arr.size == 0:
+        raise DataError(f"{name} must be a non-empty 2-D array, got shape {arr.shape}")

@@ -1,0 +1,52 @@
+"""Unit tests for the backend factory."""
+
+import numpy as np
+import pytest
+
+from repro.apps import BACKEND_KINDS, make_backend
+from repro.core import (
+    CDFSampler,
+    GreedySampler,
+    LegacyRSUG,
+    NewRSUG,
+    RSUGSampler,
+    SoftwareSampler,
+    new_design_config,
+)
+from repro.util import ConfigError
+
+
+class TestFactory:
+    def test_all_kinds_construct(self):
+        for kind in BACKEND_KINDS:
+            config = new_design_config() if kind == "rsu" else None
+            backend = make_backend(kind, 1.0, seed=1, config=config)
+            labels = backend.sample(np.array([[0.0, 0.5]]), 0.2)
+            assert labels.shape == (1,)
+
+    def test_kind_to_class_mapping(self):
+        assert isinstance(make_backend("software", 1.0), SoftwareSampler)
+        assert isinstance(make_backend("greedy", 1.0), GreedySampler)
+        assert isinstance(make_backend("new_rsug", 1.0), NewRSUG)
+        assert isinstance(make_backend("prev_rsug", 1.0), LegacyRSUG)
+        assert isinstance(make_backend("cdf_lfsr", 1.0), CDFSampler)
+
+    def test_rsu_kind_requires_config(self):
+        with pytest.raises(ConfigError):
+            make_backend("rsu", 1.0)
+
+    def test_rsu_kind_uses_config(self):
+        config = new_design_config(time_bits=7)
+        backend = make_backend("rsu", 1.0, config=config)
+        assert isinstance(backend, RSUGSampler)
+        assert backend.config.time_bits == 7
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            make_backend("oracle", 1.0)
+
+    def test_seed_controls_reproducibility(self):
+        energies = np.random.default_rng(0).random((30, 4))
+        a = make_backend("new_rsug", 1.0, seed=9).sample(energies, 0.1)
+        b = make_backend("new_rsug", 1.0, seed=9).sample(energies, 0.1)
+        assert np.array_equal(a, b)

@@ -1,0 +1,100 @@
+"""Tests for the denoising application and its dataset/metrics."""
+
+import numpy as np
+import pytest
+
+from repro.apps import DenoiseParams, build_denoise_mrf, solve_denoise
+from repro.data import denoise_cost_volume, level_values, make_denoise_dataset
+from repro.metrics import label_accuracy, psnr
+from repro.util import ConfigError, DataError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_denoise_dataset("t", (32, 40), n_levels=12, seed=9)
+
+
+class TestDataset:
+    def test_shapes_and_ranges(self, dataset):
+        assert dataset.noisy.shape == dataset.clean_labels.shape
+        assert dataset.noisy.min() >= 0 and dataset.noisy.max() <= 1
+        assert dataset.clean_labels.max() < 12
+
+    def test_clean_image_renders_levels(self, dataset):
+        clean = dataset.clean_image
+        values = set(np.round(np.unique(clean), 6))
+        allowed = set(np.round(level_values(12), 6))
+        assert values.issubset(allowed)
+
+    def test_noise_actually_corrupts(self, dataset):
+        assert psnr(dataset.noisy, dataset.clean_image) < 25.0
+
+    def test_deterministic(self):
+        a = make_denoise_dataset("x", (20, 20), 8, seed=3)
+        b = make_denoise_dataset("x", (20, 20), 8, seed=3)
+        assert np.array_equal(a.noisy, b.noisy)
+
+    def test_rejects_label_overflow(self):
+        with pytest.raises(ConfigError):
+            make_denoise_dataset("x", (20, 20), n_levels=65)
+
+    def test_level_values_monotone(self):
+        values = level_values(16)
+        assert values[0] == 0.0 and values[-1] == 1.0
+        assert np.all(np.diff(values) > 0)
+
+    def test_cost_volume_minimum_tracks_observation(self, dataset):
+        cost = denoise_cost_volume(dataset)
+        assert cost.shape == dataset.shape + (12,)
+        best = np.argmin(cost, axis=2)
+        values = level_values(12)
+        assert np.all(np.abs(values[best] - dataset.noisy) <= 0.5 / 11 + 1e-9)
+
+
+class TestMetrics:
+    def test_psnr_infinite_for_exact(self):
+        image = np.random.default_rng(0).random((8, 8))
+        assert psnr(image, image) == float("inf")
+
+    def test_psnr_known_value(self):
+        ref = np.zeros((4, 4))
+        est = np.full((4, 4), 0.1)
+        assert psnr(est, ref) == pytest.approx(20.0)
+
+    def test_psnr_validation(self):
+        with pytest.raises(DataError):
+            psnr(np.zeros((2, 2)), np.zeros((3, 3)))
+        with pytest.raises(DataError):
+            psnr(np.zeros((2, 2)), np.zeros((2, 2)), peak=0)
+
+    def test_label_accuracy(self):
+        a = np.array([[1, 2], [3, 4]])
+        b = np.array([[1, 2], [0, 4]])
+        assert label_accuracy(a, b) == 0.75
+
+
+class TestSolve:
+    def test_restoration_improves_psnr(self, dataset):
+        result = solve_denoise(dataset, "software", DenoiseParams(iterations=60), seed=1)
+        assert result.psnr_db > result.noisy_psnr_db + 0.5
+
+    def test_new_rsug_matches_software(self, dataset):
+        params = DenoiseParams(iterations=60)
+        sw = solve_denoise(dataset, "software", params, seed=1)
+        rsu = solve_denoise(dataset, "new_rsug", params, seed=1)
+        assert abs(rsu.psnr_db - sw.psnr_db) < 2.0
+
+    def test_prev_rsug_destroys_image(self, dataset):
+        params = DenoiseParams(iterations=60)
+        sw = solve_denoise(dataset, "software", params, seed=1)
+        prev = solve_denoise(dataset, "prev_rsug", params, seed=1)
+        assert prev.psnr_db < sw.psnr_db - 5.0
+
+    def test_mrf_shape(self, dataset):
+        model = build_denoise_mrf(dataset)
+        assert model.n_labels == 12
+        assert model.shape == dataset.shape
+
+    def test_rejects_short_run(self):
+        with pytest.raises(ConfigError):
+            DenoiseParams(iterations=1)

@@ -1,0 +1,95 @@
+"""Unit tests for coarse-to-fine (pyramid) motion estimation."""
+
+import numpy as np
+import pytest
+
+from repro.apps import MotionParams, solve_motion_pyramid
+from repro.apps.pyramid import downsample, offset_cost_volume, upsample_flow
+from repro.data import make_flow_dataset
+from repro.util import ConfigError
+
+
+def big_motion_dataset(seed=3):
+    """Flow magnitudes beyond a 3-radius window (needs the pyramid)."""
+    return make_flow_dataset(
+        "big",
+        (48, 64),
+        window_radius=8,
+        moving_shapes=[("rect", 0.4, 0.4, 0.2, 0.2, -5, 6)],
+        background_flow=(0, 2),
+        seed=seed,
+    )
+
+
+class TestPyramidOps:
+    def test_downsample_halves(self):
+        image = np.arange(64, dtype=float).reshape(8, 8)
+        half = downsample(image)
+        assert half.shape == (4, 4)
+        assert half[0, 0] == pytest.approx(image[:2, :2].mean())
+
+    def test_downsample_drops_odd_edge(self):
+        assert downsample(np.zeros((9, 7))).shape == (4, 3)
+
+    def test_downsample_rejects_tiny(self):
+        with pytest.raises(ConfigError):
+            downsample(np.zeros((1, 5)))
+
+    def test_upsample_doubles_vectors(self):
+        flow = np.ones((2, 2, 2))
+        up = upsample_flow(flow, (4, 4))
+        assert up.shape == (4, 4, 2)
+        assert np.all(up == 2.0)
+
+    def test_upsample_pads_odd_shapes(self):
+        flow = np.ones((2, 2, 2))
+        up = upsample_flow(flow, (5, 5))
+        assert up.shape == (5, 5, 2)
+        assert np.all(up == 2.0)
+
+    def test_offset_cost_volume_centers_window(self):
+        rng = np.random.default_rng(0)
+        frame1 = rng.random((12, 12))
+        # frame2 is frame1 shifted right by 4: true flow (0, 4).
+        frame2 = np.roll(frame1, 4, axis=1)
+        center = np.zeros((12, 12, 2), dtype=np.int64)
+        center[..., 1] = 4  # window already centred on the truth
+        cost = offset_cost_volume(frame1, frame2, center, radius=1)
+        from repro.data import flow_label_vectors
+
+        vectors = flow_label_vectors(1)
+        zero_label = int(np.where((vectors == [0, 0]).all(axis=1))[0][0])
+        interior = cost[1:-1, 1:7, :]  # columns whose roll is a true shift
+        assert np.median(interior[..., zero_label]) < 1e-12
+
+
+class TestPyramidSolve:
+    def test_recovers_large_motion(self):
+        dataset = big_motion_dataset()
+        result = solve_motion_pyramid(
+            dataset, "software", levels=2, radius=3,
+            params=MotionParams(iterations=50), seed=1,
+        )
+        assert result.levels == 2
+        assert result.epe < 2.5  # motions up to 6 px with a 3-px window
+
+    def test_rsu_backend_supported(self):
+        dataset = big_motion_dataset()
+        result = solve_motion_pyramid(
+            dataset, "new_rsug", levels=2, radius=3,
+            params=MotionParams(iterations=50), seed=1,
+        )
+        assert result.epe < 2.5
+
+    def test_rejects_insufficient_levels(self):
+        dataset = big_motion_dataset()
+        with pytest.raises(ConfigError):
+            solve_motion_pyramid(dataset, "software", levels=1, radius=3)
+
+    def test_flow_shape_matches_dataset(self):
+        dataset = big_motion_dataset()
+        result = solve_motion_pyramid(
+            dataset, "greedy", levels=2, radius=3,
+            params=MotionParams(iterations=5), seed=0,
+        )
+        assert result.flow.shape == dataset.shape + (2,)

@@ -1,0 +1,121 @@
+"""Integration tests for the three application drivers (quick scale)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    MotionParams,
+    SegmentationParams,
+    StereoParams,
+    build_motion_mrf,
+    build_segmentation_mrf,
+    build_stereo_mrf,
+    solve_motion,
+    solve_segmentation,
+    solve_stereo,
+)
+from repro.data import load_flow, load_stereo, make_segmentation_dataset
+from repro.util import ConfigError
+
+
+@pytest.fixture(scope="module")
+def stereo_ds():
+    return load_stereo("poster", scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def flow_ds():
+    return load_flow("venus", scale=0.4)
+
+
+@pytest.fixture(scope="module")
+def seg_ds():
+    return make_segmentation_dataset("t", (28, 36), 4, seed=9)
+
+
+class TestStereo:
+    def test_mrf_dimensions(self, stereo_ds):
+        model = build_stereo_mrf(stereo_ds)
+        assert model.shape == stereo_ds.shape
+        assert model.n_labels == stereo_ds.n_labels
+
+    def test_software_beats_noise_floor(self, stereo_ds):
+        params = StereoParams(iterations=60)
+        result = solve_stereo(stereo_ds, "software", params, seed=1)
+        # Random labeling would have BP near 100 * (1 - 2/n_labels).
+        assert result.bad_pixel < 50.0
+        assert result.rms < stereo_ds.n_labels / 2
+
+    def test_new_rsug_close_to_software(self, stereo_ds):
+        params = StereoParams(iterations=60)
+        sw = solve_stereo(stereo_ds, "software", params, seed=1)
+        rsu = solve_stereo(stereo_ds, "new_rsug", params, seed=1)
+        assert abs(rsu.bad_pixel - sw.bad_pixel) < 12.0
+
+    def test_prev_rsug_much_worse(self, stereo_ds):
+        params = StereoParams(iterations=60)
+        sw = solve_stereo(stereo_ds, "software", params, seed=1)
+        prev = solve_stereo(stereo_ds, "prev_rsug", params, seed=1)
+        assert prev.bad_pixel > sw.bad_pixel + 20.0
+
+    def test_disparity_in_label_range(self, stereo_ds):
+        params = StereoParams(iterations=10)
+        result = solve_stereo(stereo_ds, "software", params, seed=0)
+        assert result.disparity.min() >= 0
+        assert result.disparity.max() < stereo_ds.n_labels
+
+    def test_rejects_too_few_iterations(self):
+        with pytest.raises(ConfigError):
+            StereoParams(iterations=1)
+
+
+class TestMotion:
+    def test_mrf_dimensions(self, flow_ds):
+        model = build_motion_mrf(flow_ds)
+        assert model.n_labels == flow_ds.n_labels
+
+    def test_software_recovers_flow(self, flow_ds):
+        params = MotionParams(iterations=50)
+        result = solve_motion(flow_ds, "software", params, seed=1)
+        assert result.epe < 1.5
+
+    def test_new_rsug_close_to_software(self, flow_ds):
+        params = MotionParams(iterations=50)
+        sw = solve_motion(flow_ds, "software", params, seed=1)
+        rsu = solve_motion(flow_ds, "new_rsug", params, seed=1)
+        assert abs(rsu.epe - sw.epe) < 0.6
+
+    def test_flow_field_shape(self, flow_ds):
+        params = MotionParams(iterations=5)
+        result = solve_motion(flow_ds, "greedy", params, seed=0)
+        assert result.flow.shape == flow_ds.shape + (2,)
+
+
+class TestSegmentation:
+    def test_software_near_ground_truth(self, seg_ds):
+        result = solve_segmentation(seg_ds, "software", seed=1)
+        assert result.voi < 1.0
+        assert result.metrics["pri"] > 0.8
+
+    def test_new_rsug_close_to_software(self, seg_ds):
+        sw = solve_segmentation(seg_ds, "software", seed=1)
+        rsu = solve_segmentation(seg_ds, "new_rsug", seed=1)
+        assert abs(rsu.voi - sw.voi) < 0.5
+
+    def test_prev_rsug_much_worse(self, seg_ds):
+        sw = solve_segmentation(seg_ds, "software", seed=1)
+        prev = solve_segmentation(seg_ds, "prev_rsug", seed=1)
+        assert prev.voi > sw.voi + 1.0
+
+    def test_metrics_dict_complete(self, seg_ds):
+        result = solve_segmentation(seg_ds, "greedy", SegmentationParams(iterations=2))
+        assert set(result.metrics) == {"voi", "pri", "gce", "bde"}
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(ConfigError):
+            SegmentationParams(temperature=0.0)
+
+    def test_mrf_is_potts(self, seg_ds):
+        model = build_segmentation_mrf(seg_ds)
+        off_diagonal = model.pairwise[~np.eye(4, dtype=bool)]
+        assert np.all(off_diagonal == 1.0)

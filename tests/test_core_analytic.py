@@ -1,0 +1,91 @@
+"""Tests pinning the Monte-Carlo sampler to its exact distribution."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TTFSampler,
+    expected_ratio_error,
+    new_design_config,
+    outcome_distributions,
+    select_first_to_fire,
+    win_probabilities,
+)
+from repro.util import ConfigError
+
+NEW = new_design_config()
+
+
+def empirical_wins(codes, policy, samples=300_000, seed=0):
+    rng = np.random.default_rng(seed)
+    ttf = TTFSampler(NEW, rng).sample(np.tile(codes, (samples, 1)))
+    winners = select_first_to_fire(ttf, policy, rng)
+    return np.bincount(winners, minlength=len(codes)) / samples
+
+
+class TestExactness:
+    def test_probabilities_sum_to_one(self):
+        for codes in ([1], [8, 4], [8, 4, 1, 0], [2, 2, 2], [0, 8, 1]):
+            wins = win_probabilities(codes, NEW, "random")
+            assert np.isclose(wins.sum(), 1.0, atol=1e-12)
+
+    @pytest.mark.parametrize("policy", ["random", "first", "last"])
+    def test_matches_monte_carlo(self, policy):
+        codes = [8, 4, 1, 0]
+        exact = win_probabilities(codes, NEW, policy)
+        empirical = empirical_wins(codes, policy, seed=hash(policy) % 1000)
+        assert np.allclose(exact, empirical, atol=0.004)
+
+    def test_equal_codes_split_evenly_random(self):
+        wins = win_probabilities([4, 4, 4], NEW, "random")
+        assert np.allclose(wins, 1 / 3)
+
+    def test_equal_codes_first_biases_low_index(self):
+        wins = win_probabilities([4, 4], NEW, "first")
+        assert wins[0] > 0.5 > wins[1]
+
+    def test_cutoff_never_wins_unless_all_cut(self):
+        wins = win_probabilities([0, 1], NEW, "random")
+        assert wins[0] == 0.0 and np.isclose(wins[1], 1.0)
+        all_cut = win_probabilities([0, 0, 0], NEW, "random")
+        assert np.allclose(all_cut, 1 / 3)
+
+    def test_all_cut_deterministic_policies(self):
+        assert win_probabilities([0, 0], NEW, "first")[0] == 1.0
+        assert win_probabilities([0, 0], NEW, "last")[1] == 1.0
+
+    def test_float_time_limit_approaches_code_ratio(self):
+        # Many bins + moderate truncation: wins approach lambda ratios.
+        fine = NEW.with_(time_bits=12, truncation=0.3)
+        wins = win_probabilities([8, 4], fine, "random")
+        assert abs(wins[0] / wins[1] - 2.0) < 0.02
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            win_probabilities([], NEW)
+        with pytest.raises(ConfigError):
+            win_probabilities([1], NEW, "coin")
+        with pytest.raises(ConfigError):
+            outcome_distributions([-1], NEW)
+
+
+class TestExpectedRatioError:
+    def test_u_shape_exact(self):
+        errors = {
+            t: expected_ratio_error(8, t) for t in (0.01, 0.3, 0.5, 0.9)
+        }
+        assert errors[0.01] > errors[0.3]
+        assert errors[0.9] > errors[0.5]
+
+    def test_ratio_one_is_error_free(self):
+        assert expected_ratio_error(1, 0.5) < 1e-12
+
+    def test_chosen_point_is_accurate(self):
+        # The paper's design point keeps every realizable ratio within
+        # a few percent of intended.
+        for ratio in (2, 4, 8):
+            assert expected_ratio_error(ratio, 0.5) < 0.05
+
+    def test_rejects_non_divisor_ratio(self):
+        with pytest.raises(ConfigError):
+            expected_ratio_error(3, 0.5)

@@ -1,0 +1,131 @@
+"""Unit tests for the energy-to-lambda conversion stage."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RSUConfig,
+    boundary_table,
+    conversion_memory_bits,
+    lambda_codes,
+    lambda_codes_by_boundaries,
+    legacy_lut,
+    new_design_config,
+)
+from repro.util import ConfigError
+
+NEW = new_design_config()
+
+
+def codes_for(energy_rows, temperature, config):
+    return lambda_codes(np.asarray(energy_rows, dtype=float), temperature, config)
+
+
+class TestScaling:
+    def test_min_energy_label_gets_max_code(self):
+        codes = codes_for([[40.0, 42.0, 90.0]], 5.0, NEW)
+        assert codes[0, 0] == NEW.lambda_max_code
+
+    def test_scaling_is_per_row(self):
+        codes = codes_for([[40.0, 60.0], [200.0, 220.0]], 10.0, NEW)
+        # Both rows have the same energy differences, so identical codes.
+        assert np.array_equal(codes[0], codes[1])
+
+    def test_without_scaling_absolute_energy_matters(self):
+        config = NEW.with_(scaling=False, cutoff=False, pow2_lambda=False)
+        low = codes_for([[0.0, 1.0]], 10.0, config)
+        high = codes_for([[200.0, 201.0]], 10.0, config)
+        assert not np.array_equal(low, high)
+
+
+class TestCutoff:
+    def test_cutoff_zeroes_tiny_probabilities(self):
+        codes = codes_for([[0.0, 500.0]], 5.0, NEW)
+        assert codes[0, 1] == 0
+
+    def test_without_cutoff_rounds_up_to_lambda0(self):
+        config = NEW.with_(cutoff=False, pow2_lambda=False)
+        codes = codes_for([[0.0, 500.0]], 5.0, config)
+        assert codes[0, 1] == 1
+
+    def test_cutoff_boundary_value(self):
+        # floor(8 * exp(-E/T)) < 1 exactly when E > T ln 8.
+        temperature = 10.0
+        threshold = temperature * np.log(8)
+        config = NEW.with_(pow2_lambda=False)
+        codes = codes_for([[0.0, threshold - 0.5, threshold + 0.5]], temperature, config)
+        assert codes[0, 1] == 1
+        assert codes[0, 2] == 0
+
+
+class TestPow2Approximation:
+    def test_codes_are_powers_of_two_or_zero(self):
+        energies = np.linspace(0, 255, 64)[None, :]
+        codes = lambda_codes(energies, 30.0, NEW)
+        nonzero = codes[codes > 0]
+        assert np.all((nonzero & (nonzero - 1)) == 0)
+
+    def test_unique_codes_bounded_by_lambda_bits(self):
+        energies = np.linspace(0, 255, 256)[None, :]
+        codes = lambda_codes(energies, 40.0, NEW)
+        unique_nonzero = set(np.unique(codes)) - {0}
+        assert len(unique_nonzero) <= NEW.unique_lambdas
+
+
+class TestBoundaryConversion:
+    @pytest.mark.parametrize("temperature", [0.7, 1.34, 5.0, 40.0, 200.0])
+    def test_matches_lut_conversion_exactly(self, temperature):
+        energies = np.arange(256, dtype=float)[None, :]
+        lut_codes = lambda_codes(energies, temperature, NEW)
+        cmp_codes = lambda_codes_by_boundaries(energies, temperature, NEW)
+        assert np.array_equal(lut_codes, cmp_codes)
+
+    def test_boundaries_are_increasing(self):
+        bounds = boundary_table(10.0, NEW)
+        assert np.all(np.diff(bounds) > 0)
+
+    def test_boundary_count_matches_unique_lambdas(self):
+        assert len(boundary_table(10.0, NEW)) == NEW.unique_lambdas
+
+    def test_requires_full_technique_stack(self):
+        with pytest.raises(ConfigError):
+            boundary_table(10.0, NEW.with_(cutoff=False))
+
+
+class TestLegacyLut:
+    def test_lut_size(self):
+        config = NEW.with_(scaling=False, cutoff=False, pow2_lambda=False)
+        lut = legacy_lut(50.0, config)
+        assert lut.shape == (256,)
+
+    def test_lut_monotonically_nonincreasing(self):
+        config = NEW.with_(scaling=False, cutoff=False, pow2_lambda=False)
+        lut = legacy_lut(50.0, config)
+        assert np.all(np.diff(lut) <= 0)
+
+    def test_lut_never_below_lambda0(self):
+        config = NEW.with_(scaling=False, cutoff=False, pow2_lambda=False)
+        lut = legacy_lut(5.0, config)
+        assert lut.min() == 1
+
+
+class TestConversionMemory:
+    def test_lut_memory_is_1k_bits(self):
+        assert conversion_memory_bits(NEW, "lut") == 256 * 4  # the paper's 1024 bits
+
+    def test_boundary_memory_is_32_bits(self):
+        assert conversion_memory_bits(NEW, "boundaries") == 4 * 8  # the paper's 32 bits
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError):
+            conversion_memory_bits(NEW, "cam")
+
+
+class TestInputValidation:
+    def test_rejects_1d_energy(self):
+        with pytest.raises(ConfigError):
+            lambda_codes(np.zeros(4), 1.0, NEW)
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ConfigError):
+            lambda_codes(np.zeros((1, 4)), 0.0, NEW)

@@ -1,0 +1,137 @@
+"""Tests for the fixed-point energy datapath."""
+
+import numpy as np
+import pytest
+
+from repro.core.datapath import LABEL_BITS, EnergyDatapath
+from repro.core.distance import label_distance_matrix
+from repro.util import ConfigError, DataError
+
+
+def scalar_unit(m=8, distance="absolute", **kwargs):
+    return EnergyDatapath(np.arange(m), distance=distance, **kwargs)
+
+
+class TestConstruction:
+    def test_scalar_and_vector_labels(self):
+        assert scalar_unit().n_labels == 8
+        vectors = np.array([[0, 0], [1, 2], [3, 1]])
+        unit = EnergyDatapath(vectors, distance="squared")
+        assert unit.n_labels == 3
+
+    def test_rejects_too_many_labels(self):
+        with pytest.raises(ConfigError):
+            EnergyDatapath(np.arange((1 << LABEL_BITS) + 1))
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ConfigError):
+            EnergyDatapath(np.array([-1, 0]))
+
+    def test_rejects_unknown_distance(self):
+        with pytest.raises(ConfigError):
+            scalar_unit(distance="cosine")
+
+
+class TestPairDistances:
+    def test_absolute(self):
+        assert scalar_unit().pair_distance(1, 5) == 4
+
+    def test_squared(self):
+        assert scalar_unit(distance="squared").pair_distance(1, 5) == 16
+
+    def test_binary(self):
+        unit = scalar_unit(distance="binary")
+        assert unit.pair_distance(3, 3) == 0
+        assert unit.pair_distance(3, 4) == 1
+
+    def test_vector_squared_is_euclidean(self):
+        unit = EnergyDatapath(np.array([[0, 0], [3, 4]]), distance="squared")
+        assert unit.pair_distance(0, 1) == 25
+
+    def test_truncation_caps(self):
+        unit = scalar_unit(distance_truncate=3)
+        assert unit.pair_distance(0, 7) == 3
+        assert unit.max_pair_distance() == 3
+
+    def test_matches_float_distance_matrix(self):
+        unit = scalar_unit(m=10, distance="squared", distance_truncate=20)
+        reference = label_distance_matrix(10, "squared", truncate=20)
+        for a in range(10):
+            for b in range(10):
+                assert unit.pair_distance(a, b) == reference[a, b]
+
+    def test_label_range_checked(self):
+        with pytest.raises(DataError):
+            scalar_unit().pair_distance(0, 99)
+
+
+class TestCompute:
+    def test_singleton_only(self):
+        unit = scalar_unit(doubleton_weight=0)
+        out = unit.compute(
+            np.array([5, 200]),
+            np.array([0, 1]),
+            np.full((2, 4), 8),  # sentinel neighbours
+        )
+        assert out.tolist() == [5, 200]
+
+    def test_doubleton_sums_four_neighbors(self):
+        unit = scalar_unit(singleton_weight=0)
+        out = unit.compute(
+            np.array([0]),
+            np.array([2]),
+            np.array([[0, 4, 2, 8]]),  # dist 2 + 2 + 0 + sentinel
+        )
+        assert out.tolist() == [4]
+
+    def test_sentinel_neighbors_contribute_zero(self):
+        unit = scalar_unit()
+        all_sentinel = unit.compute(np.array([7]), np.array([3]), np.full((1, 4), 8))
+        assert all_sentinel.tolist() == [7]
+
+    def test_saturation_at_energy_bits(self):
+        unit = scalar_unit(distance="squared", doubleton_weight=10)
+        out = unit.compute(np.array([255]), np.array([0]), np.full((1, 4), 7))
+        assert out.tolist() == [255]
+
+    def test_output_shift_scales_down(self):
+        unit = scalar_unit(doubleton_weight=0, output_shift=2)
+        out = unit.compute(np.array([100]), np.array([0]), np.full((1, 4), 8))
+        assert out.tolist() == [25]
+
+    def test_weights_apply(self):
+        unit = scalar_unit(singleton_weight=3, doubleton_weight=2)
+        out = unit.compute(np.array([4]), np.array([0]), np.array([[1, 8, 8, 8]]))
+        assert out.tolist() == [3 * 4 + 2 * 1]
+
+    def test_input_validation(self):
+        unit = scalar_unit()
+        with pytest.raises(DataError):
+            unit.compute(np.array([[1]]), np.array([0]), np.zeros((1, 4), int))
+        with pytest.raises(DataError):
+            unit.compute(np.array([1]), np.array([9]), np.zeros((1, 4), int))
+        with pytest.raises(DataError):
+            unit.compute(np.array([1]), np.array([0]), np.full((1, 4), 99))
+
+    def test_cross_validates_against_float_mrf_energy(self):
+        """The integer datapath reproduces the float MRF site energy
+        exactly when the float model uses integer-valued inputs."""
+        from repro.mrf.model import GridMRF, checkerboard_masks
+
+        m = 6
+        rng = np.random.default_rng(0)
+        h, w = 5, 6
+        unary = rng.integers(0, 100, size=(h, w, m)).astype(float)
+        pairwise = label_distance_matrix(m, "absolute")
+        model = GridMRF(unary, pairwise, weight=2.0)
+        labels = rng.integers(0, m, size=(h, w))
+        mask = checkerboard_masks((h, w))[0]
+        float_energies = model.site_energies(labels, mask)
+
+        unit = scalar_unit(m=m, doubleton_weight=2)
+        neighbors = model._neighbor_labels(labels)[:, mask].T  # (N, 4)
+        for label in range(m):
+            sites = mask.sum()
+            singleton = unary[mask][:, label].astype(np.int64)
+            out = unit.compute(singleton, np.full(sites, label), neighbors)
+            assert np.array_equal(out, float_energies[:, label].astype(np.int64))

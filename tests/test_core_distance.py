@@ -1,0 +1,89 @@
+"""Unit tests for the distance functions and label-distance matrices."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DISTANCE_KINDS,
+    get_distance,
+    label_distance_matrix,
+    vector_label_distance_matrix,
+)
+from repro.util import ConfigError
+
+
+class TestScalarDistances:
+    def test_squared(self):
+        func = get_distance("squared")
+        assert func(np.array([3.0]), np.array([1.0]))[0] == 4.0
+
+    def test_absolute(self):
+        func = get_distance("absolute")
+        assert func(np.array([1.0]), np.array([4.0]))[0] == 3.0
+
+    def test_binary(self):
+        func = get_distance("binary")
+        out = func(np.array([1, 2]), np.array([1, 3]))
+        assert out.tolist() == [0.0, 1.0]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            get_distance("manhattan")
+
+    def test_all_kinds_registered(self):
+        for kind in DISTANCE_KINDS:
+            assert callable(get_distance(kind))
+
+
+class TestLabelMatrix:
+    def test_symmetry_and_zero_diagonal(self):
+        for kind in DISTANCE_KINDS:
+            matrix = label_distance_matrix(6, kind)
+            assert np.allclose(matrix, matrix.T)
+            assert np.all(np.diag(matrix) == 0)
+
+    def test_squared_values(self):
+        matrix = label_distance_matrix(4, "squared")
+        assert matrix[0, 3] == 9.0
+
+    def test_truncation_caps(self):
+        matrix = label_distance_matrix(10, "absolute", truncate=3.0)
+        assert matrix.max() == 3.0
+        assert matrix[0, 2] == 2.0  # below the cap is untouched
+
+    def test_binary_is_potts(self):
+        matrix = label_distance_matrix(5, "binary")
+        assert np.all(matrix[np.eye(5, dtype=bool)] == 0)
+        assert np.all(matrix[~np.eye(5, dtype=bool)] == 1)
+
+    def test_rejects_empty_label_set(self):
+        with pytest.raises(ConfigError):
+            label_distance_matrix(0, "squared")
+
+
+class TestVectorLabelMatrix:
+    def test_squared_is_euclidean_norm_squared(self):
+        vectors = np.array([[0, 0], [1, 2], [-1, 1]])
+        matrix = vector_label_distance_matrix(vectors, "squared")
+        assert matrix[0, 1] == 5.0
+        assert matrix[1, 2] == 4.0 + 1.0
+
+    def test_absolute_is_l1(self):
+        vectors = np.array([[0, 0], [2, -3]])
+        matrix = vector_label_distance_matrix(vectors, "absolute")
+        assert matrix[0, 1] == 5.0
+
+    def test_binary_vector_inequality(self):
+        vectors = np.array([[0, 0], [0, 0], [1, 0]])
+        matrix = vector_label_distance_matrix(vectors, "binary")
+        assert matrix[0, 1] == 0.0
+        assert matrix[0, 2] == 1.0
+
+    def test_truncation(self):
+        vectors = np.array([[0, 0], [3, 3]])
+        matrix = vector_label_distance_matrix(vectors, "squared", truncate=8.0)
+        assert matrix[0, 1] == 8.0
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ConfigError):
+            vector_label_distance_matrix(np.array([1, 2, 3]), "squared")

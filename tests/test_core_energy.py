@@ -1,0 +1,45 @@
+"""Unit tests for the energy-computation stage quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.core import EnergyStage
+from repro.util import ConfigError
+
+
+class TestEnergyStage:
+    def test_grid_max(self):
+        assert EnergyStage(8, 10.0).grid_max == 255
+        assert EnergyStage(4, 10.0).grid_max == 15
+
+    def test_lsb(self):
+        stage = EnergyStage(8, 255.0)
+        assert stage.lsb == 1.0
+
+    def test_quantize_endpoints(self):
+        stage = EnergyStage(8, 2.0)
+        out = stage.quantize(np.array([[0.0, 1.0, 2.0]]))
+        assert out.tolist() == [[0, 128, 255]]
+
+    def test_quantize_clamps_overrange(self):
+        stage = EnergyStage(8, 1.0)
+        assert stage.quantize(np.array([5.0])).tolist() == [255]
+
+    def test_rejects_nonpositive_full_scale(self):
+        with pytest.raises(ConfigError):
+            EnergyStage(8, 0.0)
+
+    def test_quantized_temperature_preserves_boltzmann_ratio(self):
+        stage = EnergyStage(8, 2.0)
+        raw_energy, raw_temperature = 1.0, 0.25
+        grid_energy = stage.quantize(np.array([raw_energy]))[0]
+        grid_temperature = stage.quantized_temperature(raw_temperature)
+        assert np.isclose(
+            np.exp(-raw_energy / raw_temperature),
+            np.exp(-grid_energy / grid_temperature),
+            rtol=0.03,  # only quantization error of the energy remains
+        )
+
+    def test_quantized_temperature_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            EnergyStage(8, 1.0).quantized_temperature(0.0)

@@ -1,0 +1,77 @@
+"""Unit tests for the entropy models."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    bin_probabilities,
+    empirical_entropy_bits,
+    entropy_rate_gbps,
+    new_design_config,
+    sample_entropy_bits,
+    shannon_entropy,
+)
+from repro.core.params import legacy_design_config
+from repro.util import ConfigError
+
+NEW = new_design_config()
+
+
+class TestShannonEntropy:
+    def test_uniform_distribution(self):
+        assert np.isclose(shannon_entropy(np.full(8, 1 / 8)), 3.0)
+
+    def test_point_mass_is_zero(self):
+        assert shannon_entropy(np.array([1.0, 0.0])) == 0.0
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ConfigError):
+            shannon_entropy(np.array([0.5, 0.4]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            shannon_entropy(np.array([1.5, -0.5]))
+
+
+class TestSampleEntropy:
+    def test_bounded_by_outcome_count(self):
+        bits = sample_entropy_bits(1, NEW)
+        assert 0 < bits <= np.log2(NEW.time_bins + 1)
+
+    def test_matches_direct_computation(self):
+        mass = bin_probabilities(2, NEW)
+        assert np.isclose(sample_entropy_bits(2, NEW), shannon_entropy(mass))
+
+    def test_legacy_design_entropy_near_paper_rate(self):
+        # Paper: the previous RSU-G generates entropy at 2.89 Gb/s at
+        # 1 GHz, i.e. ~2.9 bits per sample at its design point.
+        legacy = legacy_design_config()
+        rate = entropy_rate_gbps(legacy, code=1)
+        assert 2.0 < rate < 4.5
+
+
+class TestEntropyRate:
+    def test_scales_with_frequency(self):
+        assert np.isclose(
+            entropy_rate_gbps(NEW, 1, 2e9), 2 * entropy_rate_gbps(NEW, 1, 1e9)
+        )
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ConfigError):
+            entropy_rate_gbps(NEW, 1, 0.0)
+
+
+class TestEmpiricalEntropy:
+    def test_matches_analytic_on_large_sample(self):
+        from repro.core import TTFSampler
+
+        sampler = TTFSampler(NEW, np.random.default_rng(0))
+        ttf = sampler.sample(np.full((300_000, 1), 2)).ravel()
+        # Map the no-sample sentinel onto the overflow outcome index.
+        outcomes = np.where(ttf > NEW.time_bins, NEW.time_bins, ttf - 1)
+        empirical = empirical_entropy_bits(outcomes, NEW.time_bins + 1)
+        assert abs(empirical - sample_entropy_bits(2, NEW)) < 0.02
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            empirical_entropy_bits(np.array([], dtype=int), 4)

@@ -1,0 +1,102 @@
+"""Unit tests for the device non-ideality models."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NoisyTTFSampler,
+    TTFSampler,
+    dark_count_probability_per_window,
+    expected_spurious_rate,
+    meets_residual_budget,
+    new_design_config,
+    residual_excitation_probability,
+)
+from repro.core.pipeline import ret_network_replicas
+from repro.util import ConfigError
+
+NEW = new_design_config()
+
+
+class TestDarkCounts:
+    def test_khz_rate_is_negligible(self):
+        # The paper's claim (Sec. II-B): kHz dark counts vs a 1 GHz
+        # clock have negligible effect.
+        prob = dark_count_probability_per_window(NEW, dark_count_rate_hz=1e3)
+        assert prob < 1e-5
+
+    def test_scales_with_rate(self):
+        low = dark_count_probability_per_window(NEW, 1e3)
+        high = dark_count_probability_per_window(NEW, 1e6)
+        assert high > low * 100
+
+    def test_scales_with_window(self):
+        short = dark_count_probability_per_window(NEW.with_(time_bits=3), 1e6)
+        long = dark_count_probability_per_window(NEW.with_(time_bits=8), 1e6)
+        assert long > short
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigError):
+            dark_count_probability_per_window(NEW, -1.0)
+
+
+class TestResidualExcitation:
+    def test_geometric_decay(self):
+        assert residual_excitation_probability(NEW, 1) == pytest.approx(0.5)
+        assert residual_excitation_probability(NEW, 8) == pytest.approx(0.5**8)
+
+    def test_paper_replica_count_meets_budget(self):
+        replicas = ret_network_replicas(NEW)
+        assert replicas == 8
+        assert meets_residual_budget(NEW, replicas)
+        assert not meets_residual_budget(NEW, replicas - 1)
+
+    def test_expected_rate_defaults_to_design_replicas(self):
+        assert expected_spurious_rate(NEW) == pytest.approx(0.5**8)
+
+    def test_rejects_zero_rest(self):
+        with pytest.raises(ConfigError):
+            residual_excitation_probability(NEW, 0)
+
+
+class TestNoisyTTFSampler:
+    def test_zero_noise_matches_clean_sampler(self):
+        codes = np.full((5000, 2), 4)
+        clean = TTFSampler(NEW, np.random.default_rng(3)).sample(codes)
+        noisy = NoisyTTFSampler(NEW, np.random.default_rng(3)).sample(codes)
+        assert np.array_equal(clean, noisy)
+
+    def test_noise_shortens_ttf_statistically(self):
+        codes = np.full((100_000, 1), 1)
+        clean = TTFSampler(NEW, np.random.default_rng(5)).sample(codes)
+        noisy = NoisyTTFSampler(
+            NEW, np.random.default_rng(5), bleed_prob=0.3
+        ).sample(codes)
+        assert noisy.mean() < clean.mean()
+        assert np.all(noisy <= clean)  # spurious photons only come earlier
+
+    def test_cutoff_labels_immune(self):
+        sampler = NoisyTTFSampler(NEW, np.random.default_rng(0), dark_prob=1.0)
+        ttf = sampler.sample(np.zeros((100, 1), dtype=int))
+        from repro.core import cutoff_bin
+
+        assert np.all(ttf == cutoff_bin(NEW))
+
+    def test_budget_level_noise_barely_moves_distribution(self):
+        # At the design's 0.4% spurious rate the mean TTF shift is tiny.
+        codes = np.full((200_000, 1), 2)
+        clean = TTFSampler(NEW, np.random.default_rng(7)).sample(codes)
+        noisy = NoisyTTFSampler(
+            NEW, np.random.default_rng(7), bleed_prob=expected_spurious_rate(NEW)
+        ).sample(codes)
+        assert abs(noisy.mean() - clean.mean()) / clean.mean() < 0.01
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ConfigError):
+            NoisyTTFSampler(NEW, np.random.default_rng(0), dark_prob=1.5)
+
+    def test_rejects_float_time(self):
+        config = NEW.with_(float_time=True)
+        sampler = NoisyTTFSampler(config, np.random.default_rng(0), dark_prob=0.1)
+        with pytest.raises(ConfigError):
+            sampler.sample(np.full((2, 2), 1))

@@ -1,0 +1,111 @@
+"""Unit tests for RSUConfig and the design-point factories."""
+
+import math
+
+import pytest
+
+from repro.core import RSUConfig, legacy_design_config, new_design_config
+from repro.util import ConfigError
+
+
+class TestValidation:
+    def test_defaults_are_the_new_design(self):
+        config = RSUConfig()
+        assert config.energy_bits == 8
+        assert config.lambda_bits == 4
+        assert config.time_bits == 5
+        assert config.truncation == 0.5
+        assert config.scaling and config.cutoff and config.pow2_lambda
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"energy_bits": 0},
+            {"energy_bits": 17},
+            {"lambda_bits": 0},
+            {"time_bits": 0},
+            {"truncation": 0.0},
+            {"truncation": 1.0},
+            {"tie_policy": "alphabetical"},
+            {"lambda_scale_exponent": -1},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            RSUConfig(**kwargs)
+
+    def test_rejects_non_integer_bits(self):
+        with pytest.raises(ConfigError):
+            RSUConfig(energy_bits=8.5)
+
+
+class TestDerivedProperties:
+    def test_lambda_max_code_default(self):
+        assert RSUConfig(lambda_bits=4).lambda_max_code == 8
+        assert RSUConfig(lambda_bits=7).lambda_max_code == 64
+
+    def test_lambda_scale_exponent_override(self):
+        config = RSUConfig(lambda_bits=4, lambda_scale_exponent=4)
+        assert config.lambda_max_code == 16
+
+    def test_time_bins(self):
+        assert RSUConfig(time_bits=5).time_bins == 32
+        assert RSUConfig(time_bits=8).time_bins == 256
+
+    def test_lambda0_matches_truncation_definition(self):
+        config = RSUConfig(time_bits=5, truncation=0.5)
+        # Truncation = exp(-lambda0 * t_max)
+        assert math.isclose(
+            math.exp(-config.lambda0_per_bin * config.time_bins), 0.5
+        )
+
+    def test_unique_lambdas_with_pow2(self):
+        assert RSUConfig(lambda_bits=4, pow2_lambda=True).unique_lambdas == 4
+
+    def test_unique_lambdas_without_pow2(self):
+        assert RSUConfig(lambda_bits=4, pow2_lambda=False).unique_lambdas == 8
+
+    def test_with_returns_modified_copy(self):
+        base = RSUConfig()
+        other = base.with_(time_bits=6)
+        assert other.time_bits == 6
+        assert base.time_bits == 5
+
+
+class TestFactories:
+    def test_new_design_point(self):
+        config = new_design_config()
+        assert (config.time_bits, config.truncation) == (5, 0.5)
+        assert config.scaling and config.cutoff and config.pow2_lambda
+
+    def test_legacy_design_point(self):
+        config = legacy_design_config()
+        assert config.truncation == 0.004
+        assert not (config.scaling or config.cutoff or config.pow2_lambda)
+
+    def test_factories_accept_overrides(self):
+        assert new_design_config(time_bits=7).time_bits == 7
+        assert legacy_design_config(lambda_bits=6).lambda_bits == 6
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        import json
+
+        config = RSUConfig(time_bits=7, truncation=0.3, tie_policy="first")
+        payload = json.loads(json.dumps(config.to_dict()))
+        assert RSUConfig.from_dict(payload) == config
+
+    def test_round_trip_factories(self):
+        for config in (new_design_config(), legacy_design_config()):
+            assert RSUConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError):
+            RSUConfig.from_dict({"voltage": 3})
+
+    def test_invalid_values_still_validated(self):
+        payload = RSUConfig().to_dict()
+        payload["truncation"] = 2.0
+        with pytest.raises(ConfigError):
+            RSUConfig.from_dict(payload)

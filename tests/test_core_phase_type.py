@@ -1,0 +1,86 @@
+"""Unit tests for phase-type distribution sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PhaseTypeSampler,
+    new_design_config,
+    phase_type_mean,
+    phase_type_variance,
+    stage_moments,
+)
+from repro.util import ConfigError
+
+NEW = new_design_config()
+
+
+def sampler(config=NEW, seed=0):
+    return PhaseTypeSampler(config, np.random.default_rng(seed))
+
+
+class TestMoments:
+    def test_single_stage_binned_moments_match_empirical(self):
+        draws = sampler(seed=1).sample([4], 200_000)
+        mean, variance = stage_moments(4, NEW)
+        assert abs(draws.mean() - mean) < 0.05
+        assert abs(draws.var() - variance) / variance < 0.03
+
+    def test_chain_moments_are_sums(self):
+        codes = [8, 4, 2]
+        assert phase_type_mean(codes, NEW) == pytest.approx(
+            sum(stage_moments(c, NEW)[0] for c in codes)
+        )
+        assert phase_type_variance(codes, NEW) == pytest.approx(
+            sum(stage_moments(c, NEW)[1] for c in codes)
+        )
+
+    def test_chain_empirical_match(self):
+        codes = [8, 4, 2]
+        draws = sampler(seed=2).sample(codes, 150_000)
+        assert abs(draws.mean() - phase_type_mean(codes, NEW)) < 0.2
+        assert abs(draws.var() - phase_type_variance(codes, NEW)) < 5.0
+
+    def test_float_time_matches_ideal_exponential(self):
+        config = NEW.with_(float_time=True)
+        mean, variance = stage_moments(4, config)
+        rate = 4 * config.lambda0_per_bin
+        assert mean == pytest.approx(1.0 / rate)
+        assert variance == pytest.approx(1.0 / rate**2)
+
+
+class TestErlang:
+    def test_erlang_is_equal_rate_chain(self):
+        a = sampler(seed=3).erlang(4, 3, 50_000)
+        b = sampler(seed=3).sample([4, 4, 4], 50_000)
+        assert abs(a.mean() - b.mean()) < 0.2
+
+    def test_erlang_variance_below_single_exponential_of_same_mean(self):
+        # Erlang(k) has coefficient of variation 1/sqrt(k) < 1.
+        draws = sampler(seed=4).erlang(2, 4, 100_000)
+        cv = draws.std() / draws.mean()
+        assert cv < 0.75
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ConfigError):
+            sampler().erlang(4, 0, 10)
+
+
+class TestValidation:
+    def test_rejects_out_of_range_codes(self):
+        with pytest.raises(ConfigError):
+            sampler().sample([0], 10)
+        with pytest.raises(ConfigError):
+            sampler().sample([99], 10)
+
+    def test_rejects_empty_chain(self):
+        with pytest.raises(ConfigError):
+            sampler().sample([], 10)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ConfigError):
+            sampler().sample([4], 0)
+
+    def test_all_draws_positive(self):
+        draws = sampler(seed=5).sample([2, 8], 5000)
+        assert np.all(draws >= 2.0)  # at least one bin per stage

@@ -1,0 +1,100 @@
+"""Unit tests for the cycle-level pipeline timing models."""
+
+import pytest
+
+from repro.core.params import legacy_design_config, new_design_config
+from repro.core.pipeline import (
+    legacy_temperature_stall,
+    legacy_variable_latency,
+    new_temperature_stall,
+    new_variable_latency,
+    ret_circuit_replicas,
+    ret_network_replicas,
+    sampling_window_cycles,
+    simulate,
+)
+from repro.util import ConfigError
+
+NEW = new_design_config()
+LEGACY = legacy_design_config()
+
+
+class TestWindowAndReplicas:
+    def test_window_cycles_formula(self):
+        # Cycles = 2**Time_bits / 8 (Sec. IV-B.5).
+        assert sampling_window_cycles(NEW.with_(time_bits=4)) == 2
+        assert sampling_window_cycles(NEW) == 4
+        assert sampling_window_cycles(NEW.with_(time_bits=8)) == 32
+
+    def test_window_at_least_one_cycle(self):
+        assert sampling_window_cycles(NEW.with_(time_bits=2)) == 1
+
+    def test_circuit_replicas_equal_window(self):
+        assert ret_circuit_replicas(NEW) == 4
+
+    def test_network_replicas_paper_values(self):
+        # Truncation=0.5 -> 8 replicas for the 99.6% goal (Sec. IV-B.6).
+        assert ret_network_replicas(NEW) == 8
+        # The previous design's 0.004 truncation needs no replication.
+        assert ret_network_replicas(LEGACY) == 1
+
+    def test_network_replicas_monotone_in_truncation(self):
+        counts = [
+            ret_network_replicas(NEW.with_(truncation=t))
+            for t in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert counts == sorted(counts)
+
+    def test_network_replicas_rejects_bad_residual(self):
+        with pytest.raises(ConfigError):
+            ret_network_replicas(NEW, residual=0.0)
+
+
+class TestLatency:
+    def test_legacy_matches_paper_formula(self):
+        # Paper: total latency 7 + (M - 1) at the 4-cycle window.
+        for labels in (1, 5, 49, 64):
+            assert legacy_variable_latency(labels, LEGACY) == 7 + (labels - 1)
+
+    def test_new_latency_exceeds_legacy(self):
+        # The FIFO decoupling lengthens single-variable latency.
+        assert new_variable_latency(10, NEW) > legacy_variable_latency(10, LEGACY)
+
+    def test_rejects_zero_labels(self):
+        with pytest.raises(ConfigError):
+            legacy_variable_latency(0, LEGACY)
+
+
+class TestTemperatureStalls:
+    def test_legacy_stall_is_lut_rewrite(self):
+        # 256 entries x 4 bits over an 8-bit interface = 128 cycles.
+        assert legacy_temperature_stall(LEGACY) == 128
+
+    def test_new_design_is_stall_free(self):
+        assert new_temperature_stall() == 0
+
+
+class TestSimulate:
+    def test_steady_state_throughput_new_design(self):
+        timing = simulate("new", labels=16, variables=4096, iterations=50, config=NEW)
+        assert timing.stall_cycles_per_iteration == 0
+        assert timing.throughput_labels_per_cycle > 0.99
+
+    def test_legacy_throughput_loses_to_stalls(self):
+        legacy = simulate("legacy", labels=16, variables=256, iterations=50, config=LEGACY)
+        new = simulate("new", labels=16, variables=256, iterations=50, config=NEW)
+        assert legacy.total_cycles > new.total_cycles
+        assert legacy.throughput_labels_per_cycle < new.throughput_labels_per_cycle
+
+    def test_total_cycles_composition(self):
+        timing = simulate("new", labels=8, variables=10, iterations=3, config=NEW)
+        work = 8 * 10 * 3
+        assert timing.total_cycles == timing.fill_latency + work
+
+    def test_rejects_unknown_design(self):
+        with pytest.raises(ConfigError):
+            simulate("quantum", labels=4, variables=4, iterations=1, config=NEW)
+
+    def test_rejects_nonpositive_run(self):
+        with pytest.raises(ConfigError):
+            simulate("new", labels=4, variables=0, iterations=1, config=NEW)

@@ -1,0 +1,108 @@
+"""Unit tests for the RET-circuit TTF sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core import RSUConfig, TTFSampler, bin_probabilities, cutoff_bin, no_sample_bin
+from repro.core.params import new_design_config
+from repro.util import ConfigError
+
+NEW = new_design_config()
+
+
+def sampler(config=NEW, seed=0):
+    return TTFSampler(config, np.random.default_rng(seed))
+
+
+class TestBinnedSampling:
+    def test_bins_within_window_or_sentinel(self):
+        ttf = sampler().sample(np.full((2000, 3), 1))
+        in_window = (ttf >= 1) & (ttf <= NEW.time_bins)
+        sentinel = ttf == no_sample_bin(NEW)
+        assert np.all(in_window | sentinel)
+
+    def test_cutoff_code_gets_cutoff_bin(self):
+        ttf = sampler().sample(np.array([[0, 8]]))
+        assert ttf[0, 0] == cutoff_bin(NEW)
+
+    def test_clamp_to_tmax_mode(self):
+        config = NEW.with_(clamp_to_tmax=True)
+        ttf = sampler(config).sample(np.full((5000, 1), 1))
+        assert ttf.max() <= config.time_bins
+
+    def test_truncation_fraction_matches_definition(self):
+        # P(no sample | code 1) should equal the configured Truncation.
+        ttf = sampler(seed=1).sample(np.full((200_000, 1), 1))
+        fraction = (ttf == no_sample_bin(NEW)).mean()
+        assert abs(fraction - NEW.truncation) < 0.01
+
+    def test_higher_code_fires_sooner_on_average(self):
+        ttf = sampler(seed=2).sample(np.tile([1, 8], (100_000, 1)))
+        slow = ttf[:, 0][ttf[:, 0] <= NEW.time_bins]
+        fast = ttf[:, 1][ttf[:, 1] <= NEW.time_bins]
+        assert fast.mean() < slow.mean()
+
+    def test_rejects_negative_codes(self):
+        with pytest.raises(ConfigError):
+            sampler().sample(np.array([[-1]]))
+
+    def test_empirical_bins_match_analytic_mass(self):
+        config = NEW
+        code = 2
+        ttf = sampler(seed=3).sample(np.full((400_000, 1), code)).ravel()
+        expected = bin_probabilities(code, config)
+        for bin_index in (1, 2, 4, 16):
+            observed = (ttf == bin_index).mean()
+            assert abs(observed - expected[bin_index - 1]) < 0.005
+
+
+class TestFloatTime:
+    def test_float_time_returns_continuous(self):
+        config = NEW.with_(float_time=True)
+        ttf = sampler(config).sample(np.full((100, 2), 4))
+        assert np.issubdtype(ttf.dtype, np.floating)
+        assert np.all(ttf > 0)
+
+    def test_float_time_cutoff_is_infinite(self):
+        config = NEW.with_(float_time=True)
+        ttf = sampler(config).sample(np.array([[0, 1]]))
+        assert np.isinf(ttf[0, 0])
+
+    def test_float_time_mean_matches_exponential(self):
+        config = NEW.with_(float_time=True)
+        code = 4
+        ttf = sampler(config, seed=4).sample(np.full((200_000, 1), code))
+        expected_mean = 1.0 / (code * config.lambda0_per_bin)
+        assert abs(ttf.mean() - expected_mean) / expected_mean < 0.02
+
+
+class TestTruncationProbability:
+    def test_code1_equals_config_truncation(self):
+        assert np.isclose(sampler().truncation_probability(1), NEW.truncation)
+
+    def test_code_zero_never_fires(self):
+        assert sampler().truncation_probability(0) == 1.0
+
+    def test_decreases_with_code(self):
+        probs = [sampler().truncation_probability(c) for c in (1, 2, 4, 8)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            sampler().truncation_probability(-1)
+
+
+class TestBinProbabilities:
+    def test_sums_to_one(self):
+        mass = bin_probabilities(3, NEW)
+        assert np.isclose(mass.sum(), 1.0)
+
+    def test_length_is_bins_plus_tail(self):
+        assert len(bin_probabilities(1, NEW)) == NEW.time_bins + 1
+
+    def test_tail_matches_truncation_for_code1(self):
+        assert np.isclose(bin_probabilities(1, NEW)[-1], NEW.truncation)
+
+    def test_rejects_zero_code(self):
+        with pytest.raises(ConfigError):
+            bin_probabilities(0, NEW)

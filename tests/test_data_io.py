@@ -1,0 +1,50 @@
+"""Unit tests for the PGM image I/O helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data import read_pgm, to_gray_levels, write_pgm
+from repro.util import DataError
+
+
+class TestToGrayLevels:
+    def test_scales_to_255(self):
+        gray = to_gray_levels(np.array([[0.0, 0.5, 1.0]]), v_max=1.0)
+        assert gray.tolist() == [[0, 128, 255]]
+
+    def test_infers_v_max(self):
+        gray = to_gray_levels(np.array([[0, 10]]))
+        assert gray.tolist() == [[0, 255]]
+
+    def test_all_zero_map(self):
+        gray = to_gray_levels(np.zeros((2, 2)))
+        assert gray.max() == 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataError):
+            to_gray_levels(np.zeros(4))
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        values = np.arange(12).reshape(3, 4)
+        path = write_pgm(tmp_path / "map.pgm", values, v_max=11)
+        back = read_pgm(path)
+        assert back.shape == (3, 4)
+        assert back[0, 0] == 0 and back[2, 3] == 255
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_pgm(tmp_path / "a" / "b" / "map.pgm", np.ones((2, 2)))
+        assert path.exists()
+
+    def test_read_rejects_non_pgm(self, tmp_path):
+        bad = tmp_path / "bad.pgm"
+        bad.write_text("P5 2 2 255")
+        with pytest.raises(DataError):
+            read_pgm(bad)
+
+    def test_read_rejects_truncated(self, tmp_path):
+        bad = tmp_path / "trunc.pgm"
+        bad.write_text("P2\n2 2\n255\n1 2 3")
+        with pytest.raises(DataError):
+            read_pgm(bad)

@@ -1,0 +1,115 @@
+"""Unit tests for the synthetic optical-flow dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    FLOW_NAMES,
+    flow_cost_volume,
+    flow_label_vectors,
+    load_flow,
+    make_flow_dataset,
+)
+from repro.util import ConfigError, DataError
+
+
+class TestLabelVectors:
+    def test_window_size(self):
+        vectors = flow_label_vectors(3)
+        assert vectors.shape == (49, 2)  # the paper's 7x7 window
+
+    def test_contains_zero_vector(self):
+        vectors = flow_label_vectors(2)
+        assert [0, 0] in vectors.tolist()
+
+    def test_unique_vectors(self):
+        vectors = flow_label_vectors(3)
+        assert len({tuple(v) for v in vectors.tolist()}) == 49
+
+    def test_rejects_zero_radius(self):
+        with pytest.raises(ConfigError):
+            flow_label_vectors(0)
+
+
+class TestPresets:
+    def test_names(self):
+        assert set(FLOW_NAMES) == {"venus", "rubberwhale", "dimetrodon"}
+
+    def test_all_presets_valid(self):
+        for name in FLOW_NAMES:
+            ds = load_flow(name, scale=0.5)
+            assert ds.n_labels == 49
+            assert np.abs(ds.gt_flow).max() <= ds.window_radius
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            load_flow("grove")
+
+    def test_deterministic(self):
+        a = load_flow("venus", scale=0.5)
+        b = load_flow("venus", scale=0.5)
+        assert np.array_equal(a.frame2, b.frame2)
+
+
+class TestGenerator:
+    def test_warp_consistency_for_static_scene(self):
+        ds = make_flow_dataset(
+            "static", (30, 40), window_radius=2, moving_shapes=[], noise_sigma=0.0
+        )
+        assert np.allclose(ds.frame1, ds.frame2)
+
+    def test_background_flow_shifts_frame(self):
+        ds = make_flow_dataset(
+            "shift", (30, 40), window_radius=2,
+            moving_shapes=[], background_flow=(0, 1), noise_sigma=0.0,
+        )
+        # frame2 shifted right by one: interior columns match.
+        assert np.allclose(ds.frame1[:, :-1], ds.frame2[:, 1:])
+
+    def test_rejects_flow_outside_window(self):
+        with pytest.raises(ConfigError):
+            make_flow_dataset(
+                "bad", (20, 20), window_radius=1,
+                moving_shapes=[("rect", 0.5, 0.5, 0.2, 0.2, 3, 0)],
+            )
+
+    def test_rejects_background_outside_window(self):
+        with pytest.raises(ConfigError):
+            make_flow_dataset("bad", (20, 20), 1, [], background_flow=(0, 5))
+
+    def test_dataset_validates_flow_range(self):
+        from repro.data.motion_data import FlowDataset
+
+        with pytest.raises(DataError):
+            FlowDataset(
+                name="bad",
+                frame1=np.zeros((4, 4)),
+                frame2=np.zeros((4, 4)),
+                gt_flow=np.full((4, 4, 2), 9),
+                window_radius=2,
+            )
+
+
+class TestCostVolume:
+    def test_shape(self):
+        ds = load_flow("venus", scale=0.4)
+        cost = flow_cost_volume(ds)
+        assert cost.shape == ds.shape + (49,)
+
+    def test_true_flow_has_low_cost(self):
+        ds = make_flow_dataset(
+            "shift", (30, 40), window_radius=2,
+            moving_shapes=[], background_flow=(1, 0), noise_sigma=0.0,
+        )
+        cost = flow_cost_volume(ds)
+        vectors = flow_label_vectors(2)
+        true_label = int(np.where((vectors == [1, 0]).all(axis=1))[0][0])
+        interior = cost[2:-2, 2:-2, :]
+        assert np.median(interior[:, :, true_label]) < 1e-9
+
+    def test_off_image_targets_charged_max(self):
+        ds = load_flow("venus", scale=0.4)
+        cost = flow_cost_volume(ds, out_of_range_cost=1.0)
+        vectors = flow_label_vectors(ds.window_radius)
+        label = int(np.where((vectors == [-3, 0]).all(axis=1))[0][0])
+        assert np.all(cost[:3, :, label] == 1.0)  # rows 0-2 can't move up 3

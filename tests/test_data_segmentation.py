@@ -1,0 +1,86 @@
+"""Unit tests for the synthetic segmentation dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    class_means,
+    load_segmentation_suite,
+    make_segmentation_dataset,
+    segmentation_cost_volume,
+)
+from repro.util import ConfigError, DataError
+
+
+class TestClassMeans:
+    def test_count_and_spread(self):
+        means = class_means(4)
+        assert len(means) == 4
+        assert means[0] == 0.12 and means[-1] == 0.88
+
+    def test_monotone(self):
+        means = class_means(8)
+        assert np.all(np.diff(means) > 0)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ConfigError):
+            class_means(1)
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("n_labels", [2, 4, 6, 8])
+    def test_all_classes_present(self, n_labels):
+        ds = make_segmentation_dataset("x", (32, 40), n_labels, seed=5)
+        assert set(np.unique(ds.gt_labels)) == set(range(n_labels))
+
+    def test_image_in_unit_range(self):
+        ds = make_segmentation_dataset("x", (32, 40), 4)
+        assert ds.image.min() >= 0.0 and ds.image.max() <= 1.0
+
+    def test_image_correlates_with_labels(self):
+        ds = make_segmentation_dataset("x", (48, 64), 4, noise_sigma=0.03)
+        means = class_means(4)
+        per_class = [ds.image[ds.gt_labels == k].mean() for k in range(4)]
+        assert np.all(np.diff(per_class) > 0)  # ordered like the class means
+        assert np.allclose(per_class, means, atol=0.08)
+
+    def test_deterministic(self):
+        a = make_segmentation_dataset("x", (20, 20), 4, seed=3)
+        b = make_segmentation_dataset("x", (20, 20), 4, seed=3)
+        assert np.array_equal(a.image, b.image)
+
+    def test_validates_gt_range(self):
+        from repro.data.segmentation_data import SegmentationDataset
+
+        with pytest.raises(DataError):
+            SegmentationDataset("bad", np.zeros((4, 4)), np.full((4, 4), 7), 4)
+
+
+class TestSuite:
+    def test_count_and_names(self):
+        suite = load_segmentation_suite(count=5, n_labels=4, shape=(20, 24))
+        assert len(suite) == 5
+        assert len({ds.name for ds in suite}) == 5
+
+    def test_images_differ_across_suite(self):
+        suite = load_segmentation_suite(count=2, n_labels=4, shape=(20, 24))
+        assert not np.allclose(suite[0].image, suite[1].image)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ConfigError):
+            load_segmentation_suite(count=0)
+
+
+class TestCostVolume:
+    def test_shape(self):
+        ds = make_segmentation_dataset("x", (20, 24), 4)
+        cost = segmentation_cost_volume(ds)
+        assert cost.shape == (20, 24, 4)
+
+    def test_true_class_has_lowest_expected_cost(self):
+        ds = make_segmentation_dataset("x", (48, 64), 4, noise_sigma=0.03)
+        cost = segmentation_cost_volume(ds)
+        rows = np.arange(48)[:, None]
+        cols = np.arange(64)[None, :]
+        gt_cost = cost[rows, cols, ds.gt_labels]
+        assert gt_cost.mean() < cost.mean(axis=2).mean()

@@ -1,0 +1,111 @@
+"""Unit tests for the synthetic stereo dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import STEREO_NAMES, load_stereo, make_stereo_dataset, stereo_cost_volume
+from repro.util import ConfigError, DataError
+
+
+class TestPresets:
+    def test_preset_names(self):
+        from repro.data import PAPER_STEREO_NAMES
+
+        assert set(PAPER_STEREO_NAMES) == {"teddy", "poster", "art"}
+        assert set(PAPER_STEREO_NAMES) < set(STEREO_NAMES)
+        assert "cones" in STEREO_NAMES
+
+    def test_paper_label_counts_at_full_scale(self):
+        assert load_stereo("teddy").n_labels == 56
+        assert load_stereo("poster").n_labels == 30
+        assert load_stereo("art").n_labels == 28
+
+    def test_scaling_shrinks_consistently(self):
+        full = load_stereo("teddy", scale=1.0)
+        half = load_stereo("teddy", scale=0.5)
+        assert half.shape[0] < full.shape[0]
+        assert half.n_labels < full.n_labels
+        assert half.gt_disparity.max() < half.n_labels
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            load_stereo("tsukuba")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            load_stereo("teddy", scale=2.0)
+
+    def test_deterministic(self):
+        a = load_stereo("poster", scale=0.5)
+        b = load_stereo("poster", scale=0.5)
+        assert np.array_equal(a.left, b.left)
+        assert np.array_equal(a.gt_disparity, b.gt_disparity)
+
+
+class TestGenerator:
+    def test_images_in_unit_range(self):
+        ds = load_stereo("art", scale=0.5)
+        for image in (ds.left, ds.right):
+            assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_warp_consistency_away_from_boundaries(self):
+        # For most pixels, left(y, x) ~ right(y, x - d) up to sensor noise.
+        ds = make_stereo_dataset(
+            "flat", (40, 60), n_labels=8, background_range=(3, 3),
+            shape_specs=[], noise_sigma=0.0,
+        )
+        d = 3
+        matched = np.abs(ds.left[:, d:] - ds.right[:, :-d])
+        assert np.median(matched) < 0.02
+
+    def test_foreground_occludes_background(self):
+        ds = load_stereo("teddy", scale=0.6)
+        # Ground truth contains both near (shape) and far (bg) surfaces.
+        assert len(np.unique(ds.gt_disparity)) > 3
+
+    def test_rejects_overrange_background(self):
+        with pytest.raises(ConfigError):
+            make_stereo_dataset("x", (20, 30), 4, (1, 6), [])
+
+    def test_rejects_overrange_shape_disparity(self):
+        with pytest.raises(ConfigError):
+            make_stereo_dataset(
+                "x", (20, 30), 4, (0, 1), [("rect", 0.5, 0.5, 0.2, 0.2, 9)]
+            )
+
+    def test_dataset_validates_gt_range(self):
+        from repro.data.stereo_data import StereoDataset
+
+        with pytest.raises(DataError):
+            StereoDataset(
+                name="bad",
+                left=np.zeros((4, 4)),
+                right=np.zeros((4, 4)),
+                gt_disparity=np.full((4, 4), 10),
+                n_labels=4,
+            )
+
+
+class TestCostVolume:
+    def test_shape(self):
+        ds = load_stereo("poster", scale=0.4)
+        cost = stereo_cost_volume(ds)
+        assert cost.shape == ds.shape + (ds.n_labels,)
+
+    def test_out_of_range_columns_get_max_cost(self):
+        ds = load_stereo("poster", scale=0.4)
+        cost = stereo_cost_volume(ds, out_of_range_cost=1.0)
+        # Column x < d cannot match; charged the maximum.
+        assert np.all(cost[:, 0, 1:] == 1.0)
+
+    def test_ground_truth_has_low_cost(self):
+        ds = make_stereo_dataset(
+            "flat", (40, 60), n_labels=8, background_range=(3, 3),
+            shape_specs=[], noise_sigma=0.01,
+        )
+        cost = stereo_cost_volume(ds)
+        rows = np.arange(40)[:, None]
+        cols = np.arange(60)[None, :]
+        gt_cost = cost[rows, cols, ds.gt_disparity]
+        interior = gt_cost[:, 5:]
+        assert np.median(interior) < np.median(cost[:, 5:, :])

@@ -1,0 +1,64 @@
+"""Unit tests for the texture generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import add_noise, smooth_fields, value_noise
+from repro.util import ConfigError
+
+
+class TestValueNoise:
+    def test_shape_and_range(self):
+        out = value_noise((30, 40), np.random.default_rng(0))
+        assert out.shape == (30, 40)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_full_dynamic_range(self):
+        out = value_noise((50, 50), np.random.default_rng(1))
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_deterministic_given_seed(self):
+        a = value_noise((20, 20), np.random.default_rng(7))
+        b = value_noise((20, 20), np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_has_fine_scale_detail(self):
+        out = value_noise((64, 64), np.random.default_rng(2), octaves=5)
+        gradient = np.abs(np.diff(out, axis=1)).mean()
+        assert gradient > 0.005  # textured, not flat
+
+    def test_rejects_tiny_shape(self):
+        with pytest.raises(ConfigError):
+            value_noise((1, 10), np.random.default_rng(0))
+
+    def test_rejects_zero_octaves(self):
+        with pytest.raises(ConfigError):
+            value_noise((10, 10), np.random.default_rng(0), octaves=0)
+
+
+class TestSmoothFields:
+    def test_stack_shape(self):
+        fields = smooth_fields((16, 24), 5, np.random.default_rng(0))
+        assert fields.shape == (5, 16, 24)
+
+    def test_fields_are_independent(self):
+        fields = smooth_fields((16, 16), 2, np.random.default_rng(0))
+        assert not np.allclose(fields[0], fields[1])
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ConfigError):
+            smooth_fields((16, 16), 0, np.random.default_rng(0))
+
+
+class TestAddNoise:
+    def test_clips_to_unit_interval(self):
+        noisy = add_noise(np.full((50, 50), 0.99), 0.3, np.random.default_rng(0))
+        assert noisy.max() <= 1.0 and noisy.min() >= 0.0
+
+    def test_zero_sigma_is_identity(self):
+        image = np.random.default_rng(0).random((10, 10))
+        assert np.array_equal(add_noise(image, 0.0, np.random.default_rng(1)), image)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigError):
+            add_noise(np.zeros((4, 4)), -0.1, np.random.default_rng(0))

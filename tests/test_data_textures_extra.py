@@ -1,0 +1,88 @@
+"""Tests for the extra texture kinds and the hard stereo preset."""
+
+import numpy as np
+import pytest
+
+from repro.data import checker_texture, load_stereo, salt_pepper, stripe_texture
+from repro.util import ConfigError
+
+
+class TestStripes:
+    def test_range_and_periodicity(self):
+        rng = np.random.default_rng(0)
+        tex = stripe_texture((40, 60), rng, period=8.0, angle=0.0, contrast=1.0)
+        assert tex.min() >= 0 and tex.max() <= 1
+        # Pure horizontal-frequency stripes repeat every `period` columns.
+        assert np.allclose(tex[:, 0], tex[:, 8], atol=1e-6)
+
+    def test_contrast_blends_noise(self):
+        rng = np.random.default_rng(1)
+        pure = stripe_texture((30, 30), np.random.default_rng(1), contrast=1.0)
+        mixed = stripe_texture((30, 30), np.random.default_rng(1), contrast=0.3)
+        assert not np.allclose(pure, mixed)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            stripe_texture((10, 10), np.random.default_rng(0), period=1.0)
+        with pytest.raises(ConfigError):
+            stripe_texture((10, 10), np.random.default_rng(0), contrast=2.0)
+
+
+class TestChecker:
+    def test_block_structure(self):
+        tex = checker_texture((24, 24), np.random.default_rng(0), cell=6, jitter=0.0)
+        # Within a cell the value is constant.
+        assert np.allclose(tex[:6, :6], tex[0, 0])
+        # Adjacent cells alternate.
+        assert tex[0, 0] != tex[0, 6]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            checker_texture((10, 10), np.random.default_rng(0), cell=0)
+
+
+class TestSaltPepper:
+    def test_fraction_of_outliers(self):
+        rng = np.random.default_rng(0)
+        image = np.full((100, 100), 0.5)
+        noisy = salt_pepper(image, 0.1, rng)
+        outliers = (noisy == 0.0) | (noisy == 1.0)
+        assert 0.07 < outliers.mean() < 0.13
+
+    def test_zero_fraction_identity(self):
+        image = np.random.default_rng(0).random((10, 10))
+        assert np.array_equal(salt_pepper(image, 0.0, np.random.default_rng(1)), image)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            salt_pepper(np.zeros((4, 4)), 1.0, np.random.default_rng(0))
+
+
+class TestConesPreset:
+    def test_loads_with_stripe_texture(self):
+        dataset = load_stereo("cones", scale=0.5)
+        assert dataset.n_labels >= 10
+        assert dataset.left.shape == dataset.right.shape
+
+    def test_harder_than_plain_noise(self):
+        """Periodic texture makes winner-take-all matching worse than on
+        the equally sized plain-noise scenes."""
+        from repro.data.stereo_data import stereo_cost_volume
+        from repro.metrics import bad_pixel_percentage
+
+        cones = load_stereo("cones", scale=0.6)
+        poster = load_stereo("poster", scale=0.6)
+        def wta_bp(ds):
+            cost = stereo_cost_volume(ds)
+            return bad_pixel_percentage(np.argmin(cost, axis=2), ds.gt_disparity)
+        assert wta_bp(cones) > wta_bp(poster)
+
+    def test_rsu_still_matches_software(self):
+        from repro.apps import solve_stereo
+        from repro.apps.stereo import StereoParams
+
+        dataset = load_stereo("cones", scale=0.4)
+        params = StereoParams(iterations=80)
+        sw = solve_stereo(dataset, "software", params, seed=2)
+        rsu = solve_stereo(dataset, "new_rsug", params, seed=2)
+        assert abs(sw.bad_pixel - rsu.bad_pixel) < 12.0

@@ -1,0 +1,52 @@
+"""Tests for the unified ablation-table experiment."""
+
+import pytest
+
+from repro.experiments import QUICK
+from repro.experiments.ablations import ablation_points, hardware_columns, run
+from repro.core.params import new_design_config
+
+TINY = QUICK.with_(sweep_scale=0.3, sweep_iterations=50)
+
+
+class TestAblationPoints:
+    def test_six_points(self):
+        points = ablation_points()
+        assert len(points) == 6
+        assert "full new design" in points and "previous design" in points
+
+    def test_each_point_differs_in_one_aspect(self):
+        points = ablation_points()
+        full = points["full new design"]
+        assert points["no decay-rate scaling"].scaling is False
+        assert points["no probability cut-off"].cutoff is False
+        assert points["no 2^n approximation"].pow2_lambda is False
+        assert points["deterministic ties"].tie_policy == "first"
+        assert full.scaling and full.cutoff and full.pow2_lambda
+
+    def test_hardware_columns(self):
+        unique, circuits, networks = hardware_columns(new_design_config())
+        assert (unique, circuits, networks) == (4, 4, 8)
+        no_pow2 = new_design_config(pow2_lambda=False)
+        assert hardware_columns(no_pow2)[0] == 8
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run(TINY)
+
+    def test_table_shape(self, result):
+        assert len(result.rows) == 6
+        assert len(result.columns) == 5
+
+    def test_quality_ordering(self, result):
+        bp = {row[0]: row[1] for row in result.rows}
+        assert bp["no decay-rate scaling"] > bp["full new design"] + 15.0
+        assert bp["previous design"] > bp["full new design"] + 15.0
+        assert bp["deterministic ties"] >= bp["full new design"]
+        assert abs(bp["no 2^n approximation"] - bp["full new design"]) < 10.0
+
+    def test_pow2_halves_unique_rates(self, result):
+        unique = {row[0]: row[2] for row in result.rows}
+        assert unique["no 2^n approximation"] == 2 * unique["full new design"]

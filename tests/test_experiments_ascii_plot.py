@@ -1,0 +1,103 @@
+"""Tests for the ASCII chart renderer and the quality-vs-time experiment."""
+
+import pytest
+
+from repro.experiments.ascii_plot import chart_for_result, heatmap, line_chart
+from repro.experiments.result import ExperimentResult
+from repro.util import ConfigError
+
+
+class TestLineChart:
+    def test_contains_extremes_and_legend(self):
+        text = line_chart(
+            [0, 1, 2, 3],
+            {"alpha": [1.0, 2.0, 3.0, 4.0], "beta": [4.0, 3.0, 2.0, 1.0]},
+            title="demo",
+        )
+        assert "demo" in text
+        assert "4.000" in text and "1.000" in text
+        assert "A=alpha" in text and "B=beta" in text
+
+    def test_monotone_series_renders_monotone(self):
+        text = line_chart([0, 1, 2], {"up": [0.0, 5.0, 10.0]}, height=6, width=12)
+        rows = [line for line in text.splitlines() if "U" in line]
+        first_cols = [line.index("U") for line in rows]
+        # Higher rows (earlier lines) contain later (larger) points.
+        assert first_cols == sorted(first_cols, reverse=True)
+
+    def test_duplicate_initials_get_digits(self):
+        text = line_chart(
+            [0, 1], {"aaa": [0, 1], "abc": [1, 0]},
+        )
+        assert "A=aaa" in text and "1=abc" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            line_chart([0, 1], {})
+        with pytest.raises(ConfigError):
+            line_chart([0, 1], {"x": [1, 2, 3]})
+
+
+class TestHeatmap:
+    def test_shades_extremes(self):
+        text = heatmap(["r0", "r1"], ["c0", "c1"], [[0.0, 1.0], [0.5, 1.0]])
+        assert "@" in text and " " in text.split("\n")[2]
+
+    def test_invert_flips_shading(self):
+        normal = heatmap(["r"], ["a", "b"], [[0.0, 1.0]])
+        inverted = heatmap(["r"], ["a", "b"], [[0.0, 1.0]], invert=True)
+        assert normal != inverted
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            heatmap(["r"], ["a", "b"], [[1.0]])
+        with pytest.raises(ConfigError):
+            heatmap(["r", "s"], ["a"], [[1.0]])
+
+
+class TestChartForResult:
+    def test_series_result_renders_line_chart(self):
+        result = ExperimentResult(
+            "x", "t", ["x", "y"], [[0, 1.0], [1, 2.0]],
+            extra={"series": {"y": [1.0, 2.0]}},
+        )
+        assert "Y=y" in chart_for_result(result)
+
+    def test_heatmap_result_renders_grid(self):
+        result = ExperimentResult(
+            "x", "t", ["r", "a"], [[0, 1.0]],
+            extra={"heatmap": {"0": {"a": 1.0, "b": 2.0}}},
+        )
+        text = chart_for_result(result)
+        assert "shade range" in text
+
+    def test_plain_result_renders_nothing(self):
+        result = ExperimentResult("x", "t", ["a"], [[1]])
+        assert chart_for_result(result) == ""
+
+
+class TestQualityVsTime:
+    def test_rsu_runs_more_iterations_everywhere(self):
+        from repro.experiments import QUICK
+        from repro.experiments.quality_vs_time import run
+
+        profile = QUICK.with_(sweep_scale=0.22, sweep_iterations=40)
+        result = run(profile)
+        for row in result.rows:
+            budget, gpu_iters, gpu_bp, rsu_iters, rsu_bp = row
+            assert rsu_iters >= gpu_iters
+
+    def test_iteration_budget_math(self):
+        from repro.experiments.quality_vs_time import iterations_for_budget
+
+        gpu = iterations_for_budget(0.1, 320 * 320, 10, "gpu")
+        rsu = iterations_for_budget(0.1, 320 * 320, 10, "rsu")
+        assert rsu > gpu > 2
+
+    def test_budget_validation(self):
+        from repro.experiments.quality_vs_time import iterations_for_budget
+
+        with pytest.raises(ConfigError):
+            iterations_for_budget(0.0, 100, 10, "gpu")
+        with pytest.raises(ConfigError):
+            iterations_for_budget(0.1, 100, 10, "tpu")

@@ -1,0 +1,45 @@
+"""Unit tests for the experiments CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig3"])
+        assert args.profile == "full" and args.seed == 3
+
+    def test_profile_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig3", "--profile", "huge"])
+
+
+class TestMain:
+    def test_list_prints_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "table4" in out
+
+    def test_run_table3(self, capsys):
+        assert main(["run", "table3", "--profile", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "RSU Total" in out
+
+    def test_run_with_json_output(self, tmp_path, capsys):
+        path = tmp_path / "t4.json"
+        assert main(["run", "table4", "--profile", "quick", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["experiment_id"] == "table4"
+
+    def test_unknown_experiment_raises(self):
+        from repro.util import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["run", "fig99"])

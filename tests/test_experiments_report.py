@@ -1,0 +1,62 @@
+"""Tests for the markdown report generator."""
+
+from repro.experiments.report import (
+    generate_report,
+    hardware_summary,
+    result_to_markdown,
+)
+from repro.experiments.result import ExperimentResult
+
+
+class TestResultToMarkdown:
+    def test_table_structure(self):
+        result = ExperimentResult(
+            "figX", "demo", ["a", "b"], [["x", 1.2345], ["y", 2]],
+            notes=["a note"], artifacts=["m.pgm"],
+        )
+        text = result_to_markdown(result)
+        assert "## figX — demo" in text
+        assert "| a | b |" in text
+        assert "| x | 1.234 |" in text or "| x | 1.235 |" in text
+        assert "*a note*" in text
+        assert "`m.pgm`" in text
+
+    def test_chart_embedded_for_series(self):
+        result = ExperimentResult(
+            "figY", "demo", ["x", "y"], [[0, 1.0], [1, 2.0]],
+            extra={"series": {"y": [1.0, 2.0]}},
+        )
+        assert "```" in result_to_markdown(result)
+
+
+class TestHardwareSummary:
+    def test_contains_headline_figures(self):
+        text = hardware_summary()
+        assert "2903 um^2" in text
+        assert "125 ps" in text
+        assert "Intel DRNG" in text
+
+
+class TestGenerateReport:
+    def test_writes_selected_experiments(self, tmp_path):
+        out = tmp_path / "r.md"
+        text = generate_report(
+            profile="quick", experiments=["table3", "table4"], output_path=str(out)
+        )
+        assert out.exists()
+        assert out.read_text() == text
+        assert "## table3" in text and "## table4" in text
+        assert "## fig3" not in text
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out = tmp_path / "cli.md"
+        # Restrict indirectly: report runs everything, so use the quick
+        # profile and just check the fast path works end to end for a
+        # single-table subset via generate_report (covered above); here
+        # only the argument plumbing is exercised.
+        code = main(["report", "--profile", "quick", "-o", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "RSU-G reproduction report" in out.read_text()

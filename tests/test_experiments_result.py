@@ -1,0 +1,76 @@
+"""Unit tests for the experiment result container and profiles."""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentResult, FULL, QUICK, get_profile
+from repro.util import ConfigError
+
+
+def sample_result():
+    return ExperimentResult(
+        experiment_id="figX",
+        title="demo",
+        columns=["name", "value"],
+        rows=[["a", 1.23456], ["b", 2]],
+        notes=["a note"],
+        artifacts=["x.pgm"],
+        extra={"series": {"a": [1, 2]}},
+    )
+
+
+class TestResult:
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigError):
+            ExperimentResult("x", "t", ["a"], rows=[["too", "wide"]])
+
+    def test_text_rendering_contains_everything(self):
+        text = sample_result().to_text()
+        assert "figX" in text and "1.235" in text
+        assert "note: a note" in text
+        assert "artifact: x.pgm" in text
+
+    def test_columns_aligned(self):
+        lines = sample_result().to_text().splitlines()
+        header, separator = lines[1], lines[2]
+        assert len(header) == len(separator)
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "out.json"
+        text = sample_result().to_json(path)
+        payload = json.loads(path.read_text())
+        assert payload == json.loads(text)
+        assert payload["experiment_id"] == "figX"
+        assert payload["extra"]["series"]["a"] == [1, 2]
+
+    def test_json_serializes_unknown_types_as_str(self):
+        result = sample_result()
+        result.extra["obj"] = object()
+        payload = json.loads(result.to_json())
+        assert isinstance(payload["extra"]["obj"], str)
+
+
+class TestProfiles:
+    def test_lookup(self):
+        assert get_profile("full") is FULL
+        assert get_profile("quick") is QUICK
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigError):
+            get_profile("huge")
+
+    def test_quick_is_smaller(self):
+        assert QUICK.stereo_scale < FULL.stereo_scale
+        assert QUICK.stereo_iterations < FULL.stereo_iterations
+        assert QUICK.seg_images < FULL.seg_images
+        assert QUICK.fig7_samples < FULL.fig7_samples
+
+    def test_with_override(self):
+        assert QUICK.with_(seg_images=2).seg_images == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            QUICK.with_(stereo_scale=3.0)
+        with pytest.raises(ConfigError):
+            QUICK.with_(seg_images=0)

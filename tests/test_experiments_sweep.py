@@ -1,0 +1,83 @@
+"""Tests for the custom design-point sweep harness and CLI command."""
+
+import pytest
+
+from repro.experiments import QUICK
+from repro.experiments.cli import main
+from repro.experiments.sweep import APPS, SWEEPABLE, parse_values, run_sweep
+from repro.util import ConfigError
+
+TINY = QUICK.with_(
+    sweep_scale=0.2,
+    sweep_iterations=25,
+    motion_scale=0.3,
+    motion_iterations=20,
+    seg_shape=(20, 26),
+    seg_iterations=6,
+)
+
+
+class TestParseValues:
+    def test_ints(self):
+        assert parse_values("time_bits", "3,5,8") == [3, 5, 8]
+
+    def test_floats(self):
+        assert parse_values("truncation", "0.1, 0.5") == [0.1, 0.5]
+
+    def test_bools(self):
+        assert parse_values("cutoff", "true,0") == [True, False]
+
+    def test_strings(self):
+        assert parse_values("tie_policy", "first,random") == ["first", "random"]
+
+    def test_rejects_unknown_param(self):
+        with pytest.raises(ConfigError):
+            parse_values("voltage", "1,2")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            parse_values("time_bits", " , ")
+
+    def test_all_sweepables_listed(self):
+        assert {"lambda_bits", "time_bits", "truncation", "tie_policy"} <= set(SWEEPABLE)
+
+
+class TestRunSweep:
+    @pytest.mark.parametrize("app", APPS)
+    def test_each_app_produces_rows(self, app):
+        result = run_sweep("time_bits", [4, 6], app=app, profile=TINY)
+        assert len(result.rows) == 2
+        assert all(len(row) == 2 for row in result.rows)
+        assert "series" in result.extra
+
+    def test_tie_policy_sweep_shows_drift(self):
+        # Needs enough labels/iterations for the drift to dominate noise.
+        profile = TINY.with_(sweep_scale=0.35, sweep_iterations=60)
+        result = run_sweep(
+            "tie_policy", ["random", "first"], app="stereo", profile=profile
+        )
+        random_bp, first_bp = (row[1] for row in result.rows)
+        assert first_bp > random_bp + 5.0  # deterministic ties hurt
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(ConfigError):
+            run_sweep("time_bits", [4], app="ray_tracing", profile=TINY)
+
+
+class TestCliSweep:
+    def test_cli_sweep_prints_table(self, capsys):
+        code = main([
+            "sweep", "--param", "time_bits", "--values", "4,6",
+            "--app", "segmentation", "--profile", "quick",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "VoI" in out and "time_bits" in out
+
+    def test_cli_sweep_chart(self, capsys):
+        code = main([
+            "sweep", "--param", "truncation", "--values", "0.2,0.5",
+            "--app", "segmentation", "--profile", "quick", "--chart",
+        ])
+        assert code == 0
+        assert "quality vs truncation" in capsys.readouterr().out

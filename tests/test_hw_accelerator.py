@@ -1,0 +1,55 @@
+"""Unit tests for the discrete accelerator model."""
+
+import pytest
+
+from repro.hw import AcceleratorModel, speedup_vs_gpu
+from repro.util import ConfigError
+
+
+class TestRoofline:
+    def test_solve_time_is_binding_constraint(self):
+        model = AcceleratorModel()
+        args = (320 * 320, 5, 100)
+        assert model.solve_time(*args) == max(
+            model.sampling_time(*args), model.memory_time(*args)
+        )
+
+    def test_few_labels_is_memory_bound(self):
+        # The paper's 336 GB/s limitation binds at low label counts.
+        assert AcceleratorModel().is_memory_bound(320 * 320, 5, 100)
+
+    def test_many_units_few_channels_flips_to_compute_bound(self):
+        skinny = AcceleratorModel(units=4, memory_bandwidth_bytes=336.0e9)
+        assert not skinny.is_memory_bound(320 * 320, 64, 100)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigError):
+            AcceleratorModel(units=0)
+        with pytest.raises(ConfigError):
+            AcceleratorModel().solve_time(0, 5, 100)
+
+
+class TestSpeedups:
+    def test_segmentation_class_speedup(self):
+        # Prior work: 21x for 5-label image segmentation.
+        assert speedup_vs_gpu(320 * 320, 5) == pytest.approx(21.0, rel=0.25)
+
+    def test_speedup_grows_with_labels(self):
+        assert speedup_vs_gpu(320 * 320, 49) > speedup_vs_gpu(320 * 320, 5)
+
+    def test_accelerator_always_beats_gpu(self):
+        for labels in (2, 5, 49, 64):
+            assert speedup_vs_gpu(320 * 320, labels) > 5.0
+
+
+class TestArrayTotals:
+    def test_area_and_power_scale_with_units(self):
+        small = AcceleratorModel(units=10)
+        big = AcceleratorModel(units=336)
+        assert big.total_area_mm2() == pytest.approx(33.6 * small.total_area_mm2())
+        assert big.total_power_w() == pytest.approx(33.6 * small.total_power_w())
+
+    def test_336_unit_array_magnitudes(self):
+        model = AcceleratorModel()
+        assert model.total_area_mm2() == pytest.approx(336 * 2903 / 1e6)
+        assert model.total_power_w() == pytest.approx(336 * 4.99 / 1e3)

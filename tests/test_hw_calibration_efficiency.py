@@ -1,0 +1,103 @@
+"""Tests for the physical calibration and efficiency models."""
+
+import pytest
+
+from repro.core.params import legacy_design_config, new_design_config
+from repro.hw.calibration import (
+    MIN_BIN_SECONDS,
+    operating_point,
+    photon_budget,
+    summarize,
+)
+from repro.hw.efficiency import (
+    INTEL_DRNG_MW,
+    drng_efficiency,
+    efficiency_table,
+    power_fraction_vs_drng,
+    rsu_efficiency,
+)
+from repro.util import ConfigError
+
+NEW = new_design_config()
+
+
+class TestOperatingPoint:
+    def test_paper_bin_is_125ps(self):
+        point = operating_point(NEW)
+        assert point.bin_seconds == pytest.approx(125e-12)
+
+    def test_window_spans_time_bins(self):
+        point = operating_point(NEW)
+        assert point.window_bins == NEW.time_bins
+        assert point.window_seconds == pytest.approx(32 * 125e-12)
+
+    def test_lambda0_consistent_with_truncation(self):
+        import math
+
+        point = operating_point(NEW)
+        # exp(-lambda0 * window) == Truncation by construction.
+        assert math.exp(-point.lambda0_hz * point.window_seconds) == pytest.approx(0.5)
+
+    def test_concentration_ladder(self):
+        point = operating_point(NEW)
+        assert point.concentrations == (1, 2, 4, 8)
+        assert point.max_decay_rate_hz == pytest.approx(8 * point.lambda0_hz)
+
+    def test_too_fast_clock_rejected(self):
+        with pytest.raises(ConfigError):
+            operating_point(NEW, clock_hz=4.0e9)  # 31 ps bins: infeasible
+
+    def test_extreme_rate_rejected(self):
+        # Tiny truncation at a long window needs huge lambda0 * 8... use
+        # a config whose peak rate exceeds the RET ceiling.
+        import repro.hw.calibration as cal
+
+        aggressive = NEW.with_(truncation=0.000001, time_bits=1, lambda_bits=12)
+        with pytest.raises(ConfigError):
+            cal.operating_point(aggressive)
+
+    def test_summary_keys(self):
+        summary = summarize(NEW)
+        assert summary["bin_ps"] == pytest.approx(125.0)
+        assert summary["concentrations"] == 4
+        assert summary["window_ns"] == pytest.approx(4.0)
+
+
+class TestPhotonBudget:
+    def test_higher_truncation_needs_more_photons(self):
+        low = photon_budget(NEW.with_(truncation=0.1))
+        high = photon_budget(NEW.with_(truncation=0.7))
+        assert high > low
+
+    def test_scales_with_detector_efficiency(self):
+        assert photon_budget(NEW, 0.5) < photon_budget(NEW, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            photon_budget(NEW, detection_efficiency=0.0)
+
+
+class TestEfficiency:
+    def test_paper_13_percent_headline(self):
+        assert power_fraction_vs_drng(legacy=True) == pytest.approx(0.13, abs=0.005)
+
+    def test_rsu_more_efficient_than_drng_per_gbps(self):
+        table = efficiency_table()
+        assert table["new RSU-G"].mw_per_gbps < table["Intel DRNG"].mw_per_gbps
+        assert table["prev RSU-G"].mw_per_gbps < table["Intel DRNG"].mw_per_gbps
+
+    def test_energy_per_sample_magnitude(self):
+        row = rsu_efficiency()
+        # ~5 mW at 1 Gsample/s -> ~5 pJ per sample.
+        assert 1.0 < row.pj_per_sample < 20.0
+
+    def test_drng_reference_row(self):
+        row = drng_efficiency()
+        assert row.entropy_gbps == 6.4
+        assert row.power_mw == pytest.approx(INTEL_DRNG_MW)
+
+    def test_row_validation(self):
+        from repro.hw.efficiency import EfficiencyRow
+
+        with pytest.raises(ConfigError):
+            EfficiencyRow("bad", 0.0, 1.0, 1.0)

@@ -1,0 +1,194 @@
+"""Unit tests for the hardware area/power/performance models."""
+
+import pytest
+
+from repro.core.params import legacy_design_config, new_design_config
+from repro.hw import (
+    GPUModel,
+    PAPER_TABLE2,
+    RSUAugmentedModel,
+    cmos_totals,
+    drng_unit_area,
+    legacy_rsu_breakdown,
+    lfsr_unit_area,
+    mt19937_unit_area,
+    new_ret_circuit,
+    new_rsu_breakdown,
+    power_ratio_new_vs_legacy,
+    ret_circuit_totals,
+    rsu_area_with_sharing,
+    shareable_light_area,
+    table2_model,
+    table4_areas,
+    timing_window_check,
+)
+from repro.util import ConfigError
+
+NEW = new_design_config()
+
+
+class TestTable3:
+    def test_component_totals_match_paper(self):
+        rows = new_rsu_breakdown()
+        assert rows["RET Circuit"].area_um2 == pytest.approx(1120.0)
+        assert rows["RET Circuit"].power_mw == pytest.approx(0.08)
+        assert rows["CMOS Circuitry"].area_um2 == pytest.approx(1128.0)
+        assert rows["CMOS Circuitry"].power_mw == pytest.approx(3.49)
+        assert rows["LUT"].area_um2 == pytest.approx(655.0)
+        assert rows["RSU Total"].area_um2 == pytest.approx(2903.0)
+        assert rows["RSU Total"].power_mw == pytest.approx(4.99)
+
+    def test_power_ratio_is_paper_headline(self):
+        assert power_ratio_new_vs_legacy() == pytest.approx(1.27, abs=0.02)
+
+    def test_equal_area_with_legacy(self):
+        new = new_rsu_breakdown()["RSU Total"].area_um2
+        legacy = legacy_rsu_breakdown()["RSU Total"].area_um2
+        assert new == pytest.approx(legacy)
+
+    def test_new_ret_circuit_ratios_vs_legacy(self):
+        # Sec. IV-C: a single RET circuit is 0.7x area and 0.5x power.
+        new = ret_circuit_totals()
+        legacy = legacy_rsu_breakdown()["RET Circuit"]
+        assert new.area_um2 / legacy.area_um2 == pytest.approx(0.7, abs=0.01)
+        assert new.power_mw / legacy.power_mw == pytest.approx(0.5, abs=0.01)
+
+
+class TestRetCircuitInventory:
+    def test_counts_at_design_point(self):
+        inventory = new_ret_circuit(NEW)
+        # 8 waveguide sets x 4 concentrations = 32 networks and SPADs.
+        assert inventory["light_source"]["qdleds"].area_um2 == pytest.approx(8 * 60.0)
+        assert inventory["light_source"]["ret_networks"].area_um2 == pytest.approx(32 * 5.0)
+        assert inventory["detection"]["spads"].area_um2 == pytest.approx(32 * 9.0)
+
+    def test_light_plus_detection_equals_total(self):
+        inventory = new_ret_circuit(NEW)
+        area = sum(
+            cost.area_um2 for group in inventory.values() for cost in group.values()
+        )
+        assert area == pytest.approx(ret_circuit_totals(NEW).area_um2)
+
+    def test_replica_summary(self):
+        check = timing_window_check(NEW)
+        assert check == {"ret_circuit_replicas": 4, "ret_network_replicas": 8}
+
+    def test_lower_truncation_needs_fewer_networks(self):
+        low = new_ret_circuit(NEW.with_(truncation=0.1))
+        assert low["light_source"]["qdleds"].area_um2 < 8 * 60.0
+
+
+class TestSharing:
+    def test_sharing_reduces_area_monotonically(self):
+        noshare = rsu_area_with_sharing("noshare")
+        share4 = rsu_area_with_sharing("4share")
+        optimistic = rsu_area_with_sharing("optimistic")
+        assert noshare > share4 > optimistic
+
+    def test_4share_amortization_formula(self):
+        light = shareable_light_area(NEW)
+        assert rsu_area_with_sharing("4share") == pytest.approx(
+            rsu_area_with_sharing("noshare") - light * 0.75
+        )
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError):
+            rsu_area_with_sharing("2share")
+
+
+class TestTable4:
+    def test_matches_paper_within_tolerance(self):
+        paper = {
+            "RSUG_noshare": 2903,
+            "RSUG_4share": 2303,
+            "RSUG_optimistic": 1867,
+            "Intel DRNG (part)": 3721,
+            "19-bit LFSR": 2186,
+            "mt19937_noshare": 19269,
+            "mt19937_4share": 6507,
+            "mt19937_208share": 2336,
+        }
+        areas = table4_areas()
+        for name, expected in paper.items():
+            assert areas[name] == pytest.approx(expected, rel=0.01), name
+
+    def test_mt_sharing_monotone(self):
+        assert mt19937_unit_area(1) > mt19937_unit_area(4) > mt19937_unit_area(208)
+
+    def test_mt_share_validation(self):
+        with pytest.raises(ConfigError):
+            mt19937_unit_area(0)
+
+    def test_rsu_competitive_with_lfsr(self):
+        # The paper's punchline: true-RNG RSU at pseudo-RNG-class area.
+        assert rsu_area_with_sharing("optimistic") < lfsr_unit_area()
+        assert rsu_area_with_sharing("noshare") < drng_unit_area()
+
+
+class TestTable2:
+    def test_rsu_wins_every_configuration(self):
+        for row in table2_model().values():
+            assert row["Speedup_flt"] > 1.5
+            assert row["Speedup_int8"] > 1.5
+
+    def test_speedup_grows_with_labels(self):
+        model = table2_model()
+        assert (
+            model["320x320 SD, 64-label"]["Speedup_flt"]
+            > model["320x320 SD, 10-label"]["Speedup_flt"]
+        )
+        assert (
+            model["1920x1080 HD, 64-label"]["Speedup_flt"]
+            > model["1920x1080 HD, 10-label"]["Speedup_flt"]
+        )
+
+    def test_modeled_times_within_2x_of_paper(self):
+        model = table2_model()
+        for config, row in model.items():
+            for column in ("GPU_float", "GPU_int8", "RSUG_aug"):
+                ratio = row[column] / PAPER_TABLE2[config][column]
+                assert 0.5 < ratio < 2.0, (config, column)
+
+    def test_gpu_utilization_saturates(self):
+        gpu = GPUModel()
+        assert gpu.utilization(10_000) < gpu.utilization(2_000_000) < 1.0
+
+    def test_int8_faster_than_float(self):
+        gpu = GPUModel()
+        assert gpu.solve_time(100_000, 10, 100, "int8") < gpu.solve_time(
+            100_000, 10, 100, "float"
+        )
+
+    def test_input_validation(self):
+        gpu = GPUModel()
+        with pytest.raises(ConfigError):
+            gpu.solve_time(100, 10, 10, "fp16")
+        with pytest.raises(ConfigError):
+            gpu.utilization(0)
+        with pytest.raises(ConfigError):
+            table2_model(iterations=0)
+
+    def test_rsu_staging_dominates_at_low_labels(self):
+        rsu = RSUAugmentedModel()
+        few = rsu.solve_time(100_000, 2, 100)
+        many = rsu.solve_time(100_000, 64, 100)
+        assert many < few * 10  # per-label cost is small vs staging
+
+
+class TestCmosBlocks:
+    def test_converter_saves_area_and_power(self):
+        from repro.hw.components import BOUNDARY_CONVERTER, LUT_CONVERTER
+
+        assert BOUNDARY_CONVERTER.area_um2 / LUT_CONVERTER.area_um2 == pytest.approx(0.46)
+        assert BOUNDARY_CONVERTER.power_mw / LUT_CONVERTER.power_mw == pytest.approx(0.22)
+
+    def test_cmos_blocks_sum(self):
+        assert cmos_totals().area_um2 == pytest.approx(1128.0)
+
+    def test_component_cost_validation(self):
+        from repro.hw.components import ComponentCost
+
+        with pytest.raises(ConfigError):
+            ComponentCost("bad", -1.0, 0.0)
+        with pytest.raises(ConfigError):
+            ComponentCost("ok", 1.0, 1.0).scaled(-2)

@@ -1,0 +1,80 @@
+"""Tests for the array-level scheduling model."""
+
+import pytest
+
+from repro.hw.system import (
+    ArrayConfig,
+    size_array_for_rate,
+    solve_time_seconds,
+    sweep_timing,
+)
+from repro.util import ConfigError
+
+
+class TestSweepTiming:
+    def test_more_units_fewer_cycles_until_memory_wall(self):
+        small = sweep_timing(320, 320, 10, ArrayConfig(units=8))
+        medium = sweep_timing(320, 320, 10, ArrayConfig(units=64))
+        large = sweep_timing(320, 320, 10, ArrayConfig(units=4096))
+        assert small.total_cycles > medium.total_cycles >= large.total_cycles
+
+    def test_memory_bound_at_extreme_unit_counts(self):
+        timing = sweep_timing(320, 320, 5, ArrayConfig(units=8192))
+        assert timing.bottleneck == "memory"
+
+    def test_compute_bound_for_small_arrays(self):
+        timing = sweep_timing(320, 320, 64, ArrayConfig(units=8))
+        assert timing.bottleneck == "compute"
+
+    def test_utilization_in_unit_interval(self):
+        for units in (8, 336, 4096):
+            timing = sweep_timing(128, 128, 16, ArrayConfig(units=units))
+            assert 0.0 < timing.utilization <= 1.0
+
+    def test_total_is_max_of_components(self):
+        timing = sweep_timing(100, 100, 12, ArrayConfig(units=100))
+        assert timing.total_cycles == max(timing.compute_cycles, timing.memory_cycles)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            sweep_timing(0, 10, 5)
+        with pytest.raises(ConfigError):
+            ArrayConfig(units=0)
+
+
+class TestSolveTime:
+    def test_scales_linearly_with_iterations(self):
+        one = solve_time_seconds(128, 128, 10, 1)
+        hundred = solve_time_seconds(128, 128, 10, 100)
+        assert hundred == pytest.approx(100 * one)
+
+    def test_paper_scale_magnitude(self):
+        # 336 units on an SD 64-label workload: the sampling stage alone
+        # runs in milliseconds per 100 sweeps — consistent with the
+        # prior work's accelerator speedups.
+        t = solve_time_seconds(320, 320, 64, 100)
+        assert 1e-3 < t < 1.0
+
+
+class TestArraySizing:
+    def test_finds_minimal_units(self):
+        result = size_array_for_rate(320, 320, 10, 100, target_seconds=0.05)
+        assert result["feasible"]
+        assert result["achieved_s"] <= 0.05
+        # One fewer unit must miss the target (minimality), unless the
+        # answer is a single unit.
+        units = int(result["units"])
+        if units > 1:
+            worse = solve_time_seconds(320, 320, 10, 100, ArrayConfig(units=units - 1))
+            assert worse > 0.05
+
+    def test_reports_memory_wall(self):
+        result = size_array_for_rate(
+            1080, 1920, 64, 1000, target_seconds=1e-6, max_units=512
+        )
+        assert not result["feasible"]
+        assert result["achieved_s"] > 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            size_array_for_rate(10, 10, 5, 10, target_seconds=0.0)

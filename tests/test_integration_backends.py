@@ -1,0 +1,96 @@
+"""Cross-backend integration: every sampler family on one problem.
+
+One small stereo problem, all registered backend kinds plus the
+machine-in-the-loop and MH backends — asserting each produces a valid
+labeling and that the quality ordering the paper establishes holds:
+the new RSU-G and the software baseline cluster together, the previous
+design is far worse, and the pseudo-RNG inverse-CDF units track
+software (Table IV's quality observation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import BACKEND_KINDS, make_backend
+from repro.apps.stereo import StereoParams, build_stereo_mrf, solve_stereo
+from repro.core import new_design_config
+from repro.data import load_stereo
+from repro.metrics import bad_pixel_percentage
+from repro.mrf import MCMCSolver, geometric_for_span
+
+
+@pytest.fixture(scope="module")
+def problem():
+    dataset = load_stereo("poster", scale=0.22)
+    params = StereoParams(iterations=50)
+    return dataset, params
+
+
+@pytest.fixture(scope="module")
+def quality(problem):
+    dataset, params = problem
+    results = {}
+    for kind in BACKEND_KINDS:
+        config = new_design_config() if kind == "rsu" else None
+        result = solve_stereo(
+            dataset, kind, params, rsu_config=config, seed=4
+        )
+        results[kind] = result.bad_pixel
+    return results
+
+
+class TestAllBackends:
+    def test_all_kinds_produce_valid_labelings(self, problem):
+        dataset, params = problem
+        for kind in BACKEND_KINDS:
+            config = new_design_config() if kind == "rsu" else None
+            result = solve_stereo(dataset, kind, params, rsu_config=config, seed=4)
+            assert result.disparity.min() >= 0
+            assert result.disparity.max() < dataset.n_labels
+
+    def test_quality_clusters(self, quality):
+        software = quality["software"]
+        # The good cluster: new RSU, explicit-config RSU, the CDF units.
+        for kind in ("new_rsug", "rsu", "cdf_ideal", "cdf_lfsr", "cdf_mt19937"):
+            assert abs(quality[kind] - software) < 15.0, kind
+        # The previous design is far outside the cluster.
+        assert quality["prev_rsug"] > software + 25.0
+
+    def test_greedy_is_deterministic_icm(self, problem):
+        dataset, params = problem
+        a = solve_stereo(dataset, "greedy", params, seed=1)
+        b = solve_stereo(dataset, "greedy", params, seed=2)
+        assert np.array_equal(a.disparity, b.disparity)
+
+
+class TestSpecialBackends:
+    def test_machine_backend_in_cluster(self, problem, quality):
+        from repro.uarch import MachineBackend
+
+        dataset, params = problem
+        model = build_stereo_mrf(dataset, params)
+        backend = MachineBackend(
+            new_design_config(), model.max_energy(), np.random.default_rng(4)
+        )
+        schedule = geometric_for_span(params.t0, params.t_final, params.iterations)
+        solver = MCMCSolver(model, backend, schedule, seed=4, track_energy=False)
+        labels = solver.run(params.iterations).labels
+        bp = bad_pixel_percentage(labels, dataset.gt_disparity)
+        assert abs(bp - quality["software"]) < 15.0
+
+    def test_rsu_mh_backend_converges(self, problem, quality):
+        from repro.core import RSUMHSampler
+
+        dataset, params = problem
+        model = build_stereo_mrf(dataset, params)
+        backend = RSUMHSampler(
+            new_design_config(), model.max_energy(),
+            np.random.default_rng(4), steps_per_update=8,
+        )
+        schedule = geometric_for_span(params.t0, params.t_final, params.iterations)
+        solver = MCMCSolver(model, backend, schedule, seed=4, track_energy=False)
+        labels = solver.run(params.iterations).labels
+        bp = bad_pixel_percentage(labels, dataset.gt_disparity)
+        # MH mixes slower; allow a wider band but still far better than
+        # the previous design.
+        assert bp < quality["prev_rsug"] - 10.0

@@ -1,0 +1,222 @@
+"""Tests for the architectural interface: commands, device, driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import legacy_design_config, new_design_config
+from repro.isa import (
+    Configure,
+    Evaluate,
+    ReadStatus,
+    RSUDevice,
+    RSUDriver,
+    SetTemperature,
+    decode_stream,
+    encode_stream,
+)
+from repro.util import ConfigError, DataError
+
+NEW = new_design_config()
+LEGACY = legacy_design_config()
+
+
+def new_device(seed=1):
+    return RSUDevice(NEW, np.random.default_rng(seed), design="new")
+
+
+def potts_problem(h=10, w=12, m=4, seed=0):
+    rng = np.random.default_rng(seed)
+    target = np.zeros((h, w), dtype=int)
+    target[:, w // 2 :] = m - 1
+    unary = rng.integers(0, 30, (h, w, m))
+    rows = np.arange(h)[:, None]
+    cols = np.arange(w)[None, :]
+    unary[rows, cols, target] = 0
+    return unary, target
+
+
+class TestEncoding:
+    def test_round_trip_all_commands(self):
+        commands = [
+            Configure("absolute", 3, 7, 16, output_shift=2),
+            SetTemperature(2, 200),
+            Evaluate(site=12345, neighbors=(1, 63, 0, 7), valid_mask=0b1011),
+            ReadStatus(),
+        ]
+        assert decode_stream(encode_stream(commands)) == commands
+
+    def test_evaluate_is_two_words(self):
+        words = encode_stream([Evaluate(0, (0, 0, 0, 0), 0)])
+        assert len(words) == 2
+
+    def test_words_fit_32_bits(self):
+        words = encode_stream(
+            [Configure("binary", 63, 63, 64, 15), Evaluate((1 << 28) - 1, (63,) * 4, 0xF)]
+        )
+        assert all(0 <= w <= 0xFFFFFFFF for w in words)
+
+    def test_truncated_evaluate_rejected(self):
+        words = encode_stream([Evaluate(5, (1, 2, 3, 4), 0xF)])[:1]
+        with pytest.raises(DataError):
+            decode_stream(words)
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(DataError):
+            decode_stream([0xF0000000])
+
+    def test_command_validation(self):
+        with pytest.raises(ConfigError):
+            Configure("cosine", 1, 1, 4)
+        with pytest.raises(ConfigError):
+            Configure("binary", 64, 1, 4)
+        with pytest.raises(ConfigError):
+            Evaluate(0, (64, 0, 0, 0), 0)
+        with pytest.raises(ConfigError):
+            SetTemperature(0, 300)
+
+
+class TestDeviceOrdering:
+    def test_evaluate_requires_configure(self):
+        device = new_device()
+        device.load_unary(np.zeros((4, 4), dtype=int))
+        with pytest.raises(ConfigError):
+            device.execute([Evaluate(0, (0, 0, 0, 0), 0)])
+
+    def test_evaluate_requires_temperature(self):
+        device = new_device()
+        device.load_unary(np.zeros((4, 4), dtype=int))
+        device.execute([Configure("binary", 1, 1, 4)])
+        with pytest.raises(ConfigError):
+            device.execute([Evaluate(0, (0, 0, 0, 0), 0)])
+
+    def test_evaluate_requires_unary(self):
+        device = new_device()
+        device.execute([Configure("binary", 1, 1, 4)])
+        with pytest.raises(ConfigError):
+            device.execute([Evaluate(0, (0, 0, 0, 0), 0)])
+
+    def test_design_config_cross_checks(self):
+        with pytest.raises(ConfigError):
+            RSUDevice(LEGACY, np.random.default_rng(0), design="new")
+        with pytest.raises(ConfigError):
+            RSUDevice(NEW, np.random.default_rng(0), design="legacy")
+
+    def test_read_status_snapshot(self):
+        device = new_device()
+        responses = device.execute([ReadStatus()])
+        assert responses[0]["evaluations"] == 0
+
+
+class TestTemperatureInterface:
+    def test_new_update_is_four_bytes_atomic(self):
+        device = new_device()
+        device.execute([SetTemperature(i, 10 * (i + 1)) for i in range(3)])
+        assert device.stats.temperature_updates == 0  # not yet complete
+        device.execute([SetTemperature(3, 200)])
+        assert device.stats.temperature_updates == 1
+        assert device.stats.stall_cycles == 0
+
+    def test_legacy_update_streams_128_bytes_with_stalls(self):
+        device = RSUDevice(LEGACY, np.random.default_rng(0), design="legacy")
+        device.execute([SetTemperature(i, 0x21) for i in range(128)])
+        assert device.stats.temperature_updates == 1
+        assert device.stats.stall_cycles == 128
+
+    def test_new_rejects_out_of_range_register(self):
+        device = new_device()
+        with pytest.raises(DataError):
+            device.execute([SetTemperature(9, 1)])
+
+
+class TestDeviceSampling:
+    def test_distribution_tracks_functional_model(self):
+        """Device EVALUATE matches the functional RSU sampler on the
+        same (integer) energies within Monte-Carlo error."""
+        from repro.core import RSUGSampler
+
+        device = new_device(seed=5)
+        m = 4
+        unary = np.array([[0, 3, 9, 40]])
+        device.load_unary(unary)
+        device.execute([Configure("binary", 1, 0, m)])
+        # Grid temperature 5: boundaries floor(5*ln(8/L)).
+        from repro.core.convert import boundary_table
+
+        bounds = np.clip(np.floor(boundary_table(5.0, NEW)), 0, 255).astype(int)
+        device.execute(
+            [SetTemperature(i, int(b)) for i, b in enumerate(bounds)]
+        )
+        n = 30_000
+        responses = device.execute(
+            [Evaluate(0, (0, 0, 0, 0), 0) for _ in range(n)]
+        )
+        empirical = np.bincount(responses, minlength=m) / n
+
+        sampler = RSUGSampler(NEW, 255.0, np.random.default_rng(6))
+        reference = sampler.sample(np.tile(unary[0], (n, 1)).astype(float), 5.0)
+        expected = np.bincount(reference, minlength=m) / n
+        assert np.allclose(empirical, expected, atol=0.03)
+
+    def test_neighbors_shift_energies(self):
+        device = new_device(seed=7)
+        m = 3
+        device.load_unary(np.zeros((1, m), dtype=int))
+        device.execute([Configure("binary", 0, 20, m)])
+        from repro.core.convert import boundary_table
+
+        bounds = np.clip(np.floor(boundary_table(8.0, NEW)), 0, 255).astype(int)
+        device.execute([SetTemperature(i, int(b)) for i, b in enumerate(bounds)])
+        # All four neighbours have label 1: the Potts doubleton makes
+        # label 1 dominant.
+        responses = device.execute(
+            [Evaluate(0, (1, 1, 1, 1), 0xF) for _ in range(2000)]
+        )
+        share = (np.asarray(responses) == 1).mean()
+        assert share > 0.9
+
+
+class TestDriver:
+    def test_over_the_wire_solve_recovers_target(self):
+        unary, target = potts_problem()
+        device = new_device(seed=9)
+        driver = RSUDriver(device, unary, Configure("binary", 1, 8, 4))
+        temperatures = [20.0 * 0.85**k + 1.0 for k in range(25)]
+        labels = driver.solve(25, temperatures)
+        assert (labels == target).mean() > 0.9
+
+    def test_interface_traffic_much_lower_on_new_design(self):
+        unary, _ = potts_problem()
+        iterations = 10
+        temperatures = [15.0] * iterations
+
+        new_dev = new_device(seed=3)
+        new_driver = RSUDriver(new_dev, unary, Configure("binary", 1, 8, 4))
+        new_driver.solve(iterations, temperatures)
+
+        legacy_dev = RSUDevice(LEGACY, np.random.default_rng(3), design="legacy")
+        legacy_driver = RSUDriver(legacy_dev, unary, Configure("binary", 1, 8, 4))
+        legacy_driver.solve(iterations, temperatures)
+
+        new_traffic = new_driver.interface_traffic()
+        legacy_traffic = legacy_driver.interface_traffic()
+        assert legacy_traffic["update_bytes"] == 32 * new_traffic["update_bytes"]
+        assert new_traffic["stall_cycles"] == 0
+        assert legacy_traffic["stall_cycles"] == iterations * 128
+
+    def test_driver_validation(self):
+        unary, _ = potts_problem()
+        device = new_device()
+        with pytest.raises(ConfigError):
+            RSUDriver(device, unary, Configure("binary", 1, 8, n_labels=7))
+        driver = RSUDriver(new_device(), unary, Configure("binary", 1, 8, 4))
+        with pytest.raises(ConfigError):
+            driver.solve(0, [])
+        with pytest.raises(ConfigError):
+            driver.solve(5, [1.0, 2.0])
+
+    def test_words_accounting_matches_device(self):
+        unary, _ = potts_problem(h=6, w=6)
+        driver = RSUDriver(new_device(), unary, Configure("binary", 1, 8, 4))
+        driver.sweep(np.zeros((6, 6), dtype=np.int64), 10.0)
+        traffic = driver.interface_traffic()
+        assert traffic["words_sent"] == traffic["device_words"]

@@ -1,0 +1,133 @@
+"""Unit tests for the BISIP segmentation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    bisip_metrics,
+    boundary_displacement_error,
+    boundary_map,
+    global_consistency_error,
+    probabilistic_rand_index,
+    variation_of_information,
+)
+from repro.util import DataError
+
+
+def halves(h=8, w=8):
+    labels = np.zeros((h, w), dtype=np.int64)
+    labels[:, w // 2 :] = 1
+    return labels
+
+
+class TestVoI:
+    def test_identical_partitions_zero(self):
+        seg = halves()
+        assert variation_of_information(seg, seg) == 0.0
+
+    def test_permutation_invariant(self):
+        seg = halves()
+        assert variation_of_information(1 - seg, seg) == pytest.approx(0.0, abs=1e-12)
+
+    def test_independent_partitions(self):
+        # Horizontal vs vertical halves: I = 0, VoI = H(A)+H(B) = 2 bits.
+        seg_a = halves()
+        seg_b = halves().T.copy()
+        assert variation_of_information(seg_a, seg_b) == pytest.approx(2.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 3, (10, 10))
+        b = rng.integers(0, 4, (10, 10))
+        assert variation_of_information(a, b) == pytest.approx(
+            variation_of_information(b, a)
+        )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DataError):
+            variation_of_information(np.zeros((2, 2), int), np.zeros((3, 3), int))
+
+
+class TestPRI:
+    def test_identical_is_one(self):
+        seg = halves()
+        assert probabilistic_rand_index(seg, seg) == 1.0
+
+    def test_permutation_invariant(self):
+        seg = halves()
+        assert probabilistic_rand_index(1 - seg, seg) == 1.0
+
+    def test_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, (12, 12))
+        b = rng.integers(0, 3, (12, 12))
+        assert 0.0 <= probabilistic_rand_index(a, b) <= 1.0
+
+    def test_single_region_vs_split(self):
+        all_one = np.zeros((4, 4), int)
+        split = halves(4, 4)
+        # Agreeing pairs: those within each half of the split.
+        value = probabilistic_rand_index(all_one, split)
+        n = 16
+        same_pairs = 2 * (8 * 7 / 2)
+        total = n * (n - 1) / 2
+        assert value == pytest.approx(same_pairs / total)
+
+
+class TestGCE:
+    def test_identical_is_zero(self):
+        seg = halves()
+        assert global_consistency_error(seg, seg) == 0.0
+
+    def test_refinement_is_free(self):
+        # A strict refinement of the other partition has zero GCE.
+        coarse = halves(8, 8)
+        fine = coarse.copy()
+        fine[:4, :] += 2  # split each half horizontally
+        assert global_consistency_error(fine, coarse) == 0.0
+
+    def test_bounded_by_one(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 4, (10, 10))
+        b = rng.integers(0, 4, (10, 10))
+        assert 0.0 <= global_consistency_error(a, b) <= 1.0
+
+
+class TestBoundary:
+    def test_boundary_of_halves(self):
+        boundary = boundary_map(halves())
+        assert boundary[:, 3].all() and boundary[:, 4].all()
+        assert not boundary[:, 0].any()
+
+    def test_uniform_has_no_boundary(self):
+        assert not boundary_map(np.zeros((5, 5), int)).any()
+
+    def test_bde_identical_zero(self):
+        seg = halves()
+        assert boundary_displacement_error(seg, seg) == 0.0
+
+    def test_bde_shifted_boundary(self):
+        a = np.zeros((8, 8), int)
+        a[:, 4:] = 1
+        b = np.zeros((8, 8), int)
+        b[:, 6:] = 1
+        # Boundaries are two pixels wide (cols 3,4 vs 5,6): distances
+        # average to (1 + 2) / 2 on each side.
+        assert boundary_displacement_error(a, b) == pytest.approx(1.5)
+
+    def test_bde_one_side_uniform(self):
+        uniform = np.zeros((8, 8), int)
+        value = boundary_displacement_error(uniform, halves())
+        assert value > 0.0
+
+    def test_bde_both_uniform(self):
+        uniform = np.zeros((8, 8), int)
+        assert boundary_displacement_error(uniform, uniform) == 0.0
+
+
+class TestBundle:
+    def test_keys(self):
+        seg = halves()
+        metrics = bisip_metrics(seg, seg)
+        assert set(metrics) == {"voi", "pri", "gce", "bde"}
+        assert metrics["voi"] == 0.0 and metrics["pri"] == 1.0

@@ -1,0 +1,77 @@
+"""Unit tests for the stereo and motion quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    bad_pixel_percentage,
+    endpoint_error,
+    flow_from_labels,
+    rms_error,
+)
+from repro.util import DataError
+
+
+class TestBadPixel:
+    def test_perfect_estimate(self):
+        gt = np.arange(12).reshape(3, 4)
+        assert bad_pixel_percentage(gt, gt) == 0.0
+
+    def test_threshold_is_strict(self):
+        gt = np.zeros((2, 2))
+        est = np.full((2, 2), 1.0)
+        assert bad_pixel_percentage(est, gt, threshold=1.0) == 0.0  # |err| == 1 ok
+        assert bad_pixel_percentage(est + 0.5, gt, threshold=1.0) == 100.0
+
+    def test_partial(self):
+        gt = np.zeros((2, 2))
+        est = np.array([[0.0, 5.0], [0.0, 5.0]])
+        assert bad_pixel_percentage(est, gt) == 50.0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DataError):
+            bad_pixel_percentage(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(DataError):
+            bad_pixel_percentage(np.zeros((2, 2)), np.zeros((2, 2)), threshold=-1)
+
+
+class TestRms:
+    def test_constant_offset(self):
+        gt = np.zeros((4, 4))
+        assert rms_error(gt + 3.0, gt) == 3.0
+
+    def test_zero_for_exact(self):
+        gt = np.random.default_rng(0).random((4, 4))
+        assert rms_error(gt, gt) == 0.0
+
+
+class TestEndpointError:
+    def test_zero_for_exact(self):
+        flow = np.random.default_rng(0).random((4, 4, 2))
+        assert endpoint_error(flow, flow) == 0.0
+
+    def test_unit_offset(self):
+        gt = np.zeros((4, 4, 2))
+        est = gt.copy()
+        est[..., 0] = 3.0
+        est[..., 1] = 4.0
+        assert endpoint_error(est, gt) == 5.0
+
+    def test_rejects_wrong_last_axis(self):
+        with pytest.raises(DataError):
+            endpoint_error(np.zeros((4, 4, 3)), np.zeros((4, 4, 3)))
+
+
+class TestFlowFromLabels:
+    def test_expands_vectors(self):
+        vectors = np.array([[0, 0], [1, -1]])
+        labels = np.array([[0, 1], [1, 0]])
+        flow = flow_from_labels(labels, vectors)
+        assert flow.shape == (2, 2, 2)
+        assert flow[0, 1].tolist() == [1, -1]
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(DataError):
+            flow_from_labels(np.array([[5]]), np.array([[0, 0]]))

@@ -1,0 +1,72 @@
+"""Unit tests for the annealing schedules."""
+
+import pytest
+
+from repro.mrf import ConstantSchedule, GeometricSchedule, LinearSchedule, geometric_for_span
+from repro.util import ConfigError
+
+
+class TestConstant:
+    def test_fixed_value(self):
+        schedule = ConstantSchedule(0.5)
+        assert schedule.temperature(0) == schedule.temperature(999) == 0.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            ConstantSchedule(0.0)
+
+
+class TestGeometric:
+    def test_decreases_monotonically(self):
+        schedule = GeometricSchedule(t0=1.0, rate=0.9)
+        values = [schedule.temperature(k) for k in range(20)]
+        assert values == sorted(values, reverse=True)
+
+    def test_floors_at_t_min(self):
+        schedule = GeometricSchedule(t0=1.0, rate=0.5, t_min=0.1)
+        assert schedule.temperature(100) == 0.1
+
+    def test_rejects_rate_out_of_range(self):
+        with pytest.raises(ConfigError):
+            GeometricSchedule(t0=1.0, rate=1.0)
+
+    def test_rejects_t_min_above_t0(self):
+        with pytest.raises(ConfigError):
+            GeometricSchedule(t0=0.1, rate=0.9, t_min=1.0)
+
+    def test_rejects_negative_iteration(self):
+        with pytest.raises(ConfigError):
+            GeometricSchedule(t0=1.0, rate=0.9).temperature(-1)
+
+
+class TestLinear:
+    def test_endpoints(self):
+        schedule = LinearSchedule(t0=1.0, t_min=0.1, steps=10)
+        assert schedule.temperature(0) == 1.0
+        assert abs(schedule.temperature(10) - 0.1) < 1e-12
+
+    def test_clamps_after_span(self):
+        schedule = LinearSchedule(t0=1.0, t_min=0.1, steps=10)
+        assert schedule.temperature(50) == 0.1
+
+    def test_midpoint(self):
+        schedule = LinearSchedule(t0=1.0, t_min=0.0001, steps=10)
+        assert 0.4 < schedule.temperature(5) < 0.6
+
+
+class TestGeometricForSpan:
+    def test_hits_final_temperature(self):
+        schedule = geometric_for_span(1.0, 0.01, iterations=100)
+        assert abs(schedule.temperature(99) - 0.01) < 1e-9
+
+    def test_starts_at_t0(self):
+        schedule = geometric_for_span(2.0, 0.5, iterations=50)
+        assert schedule.temperature(0) == 2.0
+
+    def test_rejects_increasing_span(self):
+        with pytest.raises(ConfigError):
+            geometric_for_span(0.1, 1.0, iterations=10)
+
+    def test_rejects_short_run(self):
+        with pytest.raises(ConfigError):
+            geometric_for_span(1.0, 0.1, iterations=1)

@@ -1,0 +1,142 @@
+"""Tests for MCMC diagnostics, including exact-distribution validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import SoftwareSampler, label_distance_matrix
+from repro.mrf import GridMRF
+from repro.mrf.diagnostics import (
+    autocorrelation,
+    effective_sample_size,
+    empirical_state_distribution,
+    enumerate_boltzmann,
+    gelman_rubin,
+    total_variation_distance,
+)
+from repro.util import ConfigError, DataError
+
+
+def tiny_model(h=2, w=2, m=2, weight=0.4, seed=0):
+    rng = np.random.default_rng(seed)
+    unary = rng.random((h, w, m))
+    return GridMRF(unary, label_distance_matrix(m, "binary"), weight)
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        series = np.random.default_rng(0).random(200)
+        assert autocorrelation(series, 5)[0] == 1.0
+
+    def test_iid_series_decorrelates(self):
+        series = np.random.default_rng(1).random(5000)
+        rho = autocorrelation(series, 10)
+        assert np.all(np.abs(rho[1:]) < 0.05)
+
+    def test_persistent_series_correlates(self):
+        steps = np.random.default_rng(2).normal(size=2000)
+        walk = np.cumsum(steps)
+        rho = autocorrelation(walk, 5)
+        assert rho[1] > 0.9
+
+    def test_constant_series(self):
+        rho = autocorrelation(np.ones(50), 3)
+        assert rho[0] == 1.0 and np.all(rho[1:] == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            autocorrelation(np.ones((2, 2)), 1)
+        with pytest.raises(ConfigError):
+            autocorrelation(np.ones(10), 10)
+
+
+class TestESS:
+    def test_iid_ess_near_n(self):
+        series = np.random.default_rng(3).random(4000)
+        assert effective_sample_size(series) > 3000
+
+    def test_correlated_ess_much_smaller(self):
+        walk = np.cumsum(np.random.default_rng(4).normal(size=4000))
+        assert effective_sample_size(walk) < 400
+
+
+class TestGelmanRubin:
+    def test_identically_distributed_chains_near_one(self):
+        rng = np.random.default_rng(5)
+        chains = [rng.normal(size=800) for _ in range(4)]
+        assert gelman_rubin(chains) < 1.05
+
+    def test_divergent_chains_detected(self):
+        rng = np.random.default_rng(6)
+        chains = [rng.normal(0, 1, 400), rng.normal(8, 1, 400)]
+        assert gelman_rubin(chains) > 2.0
+
+    def test_needs_two_chains(self):
+        with pytest.raises(ConfigError):
+            gelman_rubin([np.ones(10)])
+
+
+class TestExactDistribution:
+    def test_boltzmann_normalized(self):
+        dist = enumerate_boltzmann(tiny_model(), 0.5)
+        assert len(dist) == 2**4
+        assert np.isclose(sum(dist.values()), 1.0)
+
+    def test_lower_energy_states_more_probable(self):
+        model = tiny_model()
+        dist = enumerate_boltzmann(model, 0.3)
+        states = list(dist)
+        energies = {
+            s: model.total_energy(np.asarray(s).reshape(2, 2)) for s in states
+        }
+        best = min(states, key=energies.get)
+        worst = max(states, key=energies.get)
+        assert dist[best] > dist[worst]
+
+    def test_rejects_huge_state_space(self):
+        big = GridMRF(
+            np.zeros((5, 5, 8)), label_distance_matrix(8, "binary"), 0.1
+        )
+        with pytest.raises(ConfigError):
+            enumerate_boltzmann(big, 1.0)
+
+    def test_software_gibbs_targets_boltzmann(self):
+        """The central correctness check: chromatic Gibbs with the float
+        sampler converges to the exact Boltzmann distribution."""
+        model = tiny_model()
+        temperature = 0.5
+        exact = enumerate_boltzmann(model, temperature)
+        empirical = empirical_state_distribution(
+            model,
+            SoftwareSampler(np.random.default_rng(7)),
+            temperature,
+            sweeps=24_000,
+            burn_in=1_000,
+            seed=7,
+        )
+        assert total_variation_distance(exact, empirical) < 0.05
+
+    def test_rsu_gibbs_close_to_boltzmann(self):
+        """The RSU backend is a quantized approximation: close in TV but
+        not exact (its lambda codes are powers of two)."""
+        from repro.core import NewRSUG
+
+        model = tiny_model()
+        temperature = 0.5
+        exact = enumerate_boltzmann(model, temperature)
+        backend = NewRSUG(model.max_energy(), np.random.default_rng(8))
+        empirical = empirical_state_distribution(
+            model, backend, temperature, sweeps=24_000, burn_in=1_000, seed=8
+        )
+        distance = total_variation_distance(exact, empirical)
+        assert distance < 0.25
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        p = {(0,): 0.5, (1,): 0.5}
+        assert total_variation_distance(p, dict(p)) == 0.0
+
+    def test_disjoint_is_one(self):
+        p = {(0,): 1.0}
+        q = {(1,): 1.0}
+        assert total_variation_distance(p, q) == 1.0

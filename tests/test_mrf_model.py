@@ -1,0 +1,109 @@
+"""Unit tests for the grid MRF model."""
+
+import numpy as np
+import pytest
+
+from repro.core import label_distance_matrix
+from repro.mrf import GridMRF, checkerboard_masks
+from repro.util import ConfigError, DataError
+
+
+def small_model(h=4, w=5, m=3, weight=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    unary = rng.random((h, w, m))
+    pairwise = label_distance_matrix(m, "absolute")
+    return GridMRF(unary=unary, pairwise=pairwise, weight=weight)
+
+
+class TestConstruction:
+    def test_shape_properties(self):
+        model = small_model()
+        assert model.shape == (4, 5)
+        assert model.n_labels == 3
+
+    def test_rejects_mismatched_pairwise(self):
+        with pytest.raises(DataError):
+            GridMRF(np.zeros((2, 2, 3)), np.zeros((4, 4)), 1.0)
+
+    def test_rejects_asymmetric_pairwise(self):
+        pairwise = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(DataError):
+            GridMRF(np.zeros((2, 2, 2)), pairwise, 1.0)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ConfigError):
+            small_model(weight=-1.0)
+
+    def test_max_energy_is_upper_bound(self):
+        model = small_model()
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 3, size=(4, 5))
+        for mask in checkerboard_masks((4, 5)):
+            energies = model.site_energies(labels, mask)
+            assert energies.max() <= model.max_energy() + 1e-12
+
+
+class TestSiteEnergies:
+    def test_brute_force_agreement(self):
+        model = small_model()
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 3, size=model.shape)
+        mask = checkerboard_masks(model.shape)[0]
+        energies = model.site_energies(labels, mask)
+        h, w = model.shape
+        idx = 0
+        for y in range(h):
+            for x in range(w):
+                if not mask[y, x]:
+                    continue
+                for i in range(model.n_labels):
+                    expected = model.unary[y, x, i]
+                    for dy, dx in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                        ny, nx = y + dy, x + dx
+                        if 0 <= ny < h and 0 <= nx < w:
+                            expected += model.weight * model.pairwise[i, labels[ny, nx]]
+                    assert np.isclose(energies[idx, i], expected)
+                idx += 1
+
+    def test_rejects_wrong_label_shape(self):
+        model = small_model()
+        with pytest.raises(DataError):
+            model.site_energies(np.zeros((2, 2), dtype=int), np.ones((2, 2), bool))
+
+
+class TestTotalEnergy:
+    def test_brute_force_agreement(self):
+        model = small_model()
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 3, size=model.shape)
+        h, w = model.shape
+        expected = 0.0
+        for y in range(h):
+            for x in range(w):
+                expected += model.unary[y, x, labels[y, x]]
+                if x + 1 < w:
+                    expected += model.weight * model.pairwise[labels[y, x], labels[y, x + 1]]
+                if y + 1 < h:
+                    expected += model.weight * model.pairwise[labels[y, x], labels[y + 1, x]]
+        assert np.isclose(model.total_energy(labels), expected)
+
+    def test_uniform_labels_have_no_pairwise_cost(self):
+        model = small_model()
+        labels = np.zeros(model.shape, dtype=np.int64)
+        assert np.isclose(model.total_energy(labels), model.unary[:, :, 0].sum())
+
+
+class TestCheckerboard:
+    def test_masks_partition_grid(self):
+        even, odd = checkerboard_masks((5, 7))
+        assert np.all(even ^ odd)
+
+    def test_no_neighbors_within_a_class(self):
+        even, _ = checkerboard_masks((6, 6))
+        # Horizontally and vertically adjacent cells never share a class.
+        assert not np.any(even[:, :-1] & even[:, 1:])
+        assert not np.any(even[:-1, :] & even[1:, :])
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(DataError):
+            checkerboard_masks((0, 3))

@@ -1,0 +1,115 @@
+"""Unit tests for the MCMC solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import GreedySampler, SoftwareSampler, label_distance_matrix
+from repro.mrf import ConstantSchedule, GeometricSchedule, GridMRF, MCMCSolver
+from repro.util import ConfigError
+
+
+def potts_model(h=8, w=8, m=3, noise=0.2, weight=0.3, seed=0):
+    """A noisy two-region Potts problem with a known best labeling."""
+    rng = np.random.default_rng(seed)
+    target = np.zeros((h, w), dtype=np.int64)
+    target[:, w // 2 :] = 1
+    unary = rng.random((h, w, m)) * noise
+    rows = np.arange(h)[:, None]
+    cols = np.arange(w)[None, :]
+    unary[rows, cols, target] = 0.0
+    return GridMRF(unary, label_distance_matrix(m, "binary"), weight), target
+
+
+class TestInitialization:
+    def test_unary_init_is_argmin(self):
+        model, target = potts_model()
+        solver = MCMCSolver(model, GreedySampler(), ConstantSchedule(1.0))
+        assert np.array_equal(solver.initial_labels(), np.argmin(model.unary, axis=2))
+
+    def test_random_init_in_range(self):
+        model, _ = potts_model()
+        solver = MCMCSolver(model, GreedySampler(), ConstantSchedule(1.0), init="random")
+        labels = solver.initial_labels()
+        assert labels.min() >= 0 and labels.max() < model.n_labels
+
+    def test_explicit_init_copied(self):
+        model, target = potts_model()
+        solver = MCMCSolver(model, GreedySampler(), ConstantSchedule(1.0), init=target)
+        labels = solver.initial_labels()
+        labels[0, 0] = 2
+        assert target[0, 0] == 0  # original untouched
+
+    def test_rejects_bad_init_values(self):
+        model, target = potts_model()
+        bad = target.copy()
+        bad[0, 0] = 99
+        solver = MCMCSolver(model, GreedySampler(), ConstantSchedule(1.0), init=bad)
+        with pytest.raises(ConfigError):
+            solver.initial_labels()
+
+    def test_rejects_unknown_init_keyword(self):
+        model, _ = potts_model()
+        solver = MCMCSolver(model, GreedySampler(), ConstantSchedule(1.0), init="zeros")
+        with pytest.raises(ConfigError):
+            solver.initial_labels()
+
+
+class TestRun:
+    def test_greedy_recovers_planted_labeling(self):
+        model, target = potts_model()
+        solver = MCMCSolver(model, GreedySampler(), ConstantSchedule(1.0))
+        result = solver.run(5)
+        assert (result.labels == target).mean() > 0.95
+
+    def test_energy_decreases_under_annealing(self):
+        model, _ = potts_model(noise=0.5)
+        solver = MCMCSolver(
+            model,
+            SoftwareSampler(np.random.default_rng(0)),
+            GeometricSchedule(t0=1.0, rate=0.85),
+            init="random",
+        )
+        result = solver.run(40)
+        assert result.energy_history[-1] < result.energy_history[0]
+
+    def test_histories_have_run_length(self):
+        model, _ = potts_model()
+        solver = MCMCSolver(model, GreedySampler(), ConstantSchedule(1.0))
+        result = solver.run(7)
+        assert result.iterations == 7
+        assert len(result.temperature_history) == 7
+
+    def test_track_energy_disabled_records_nan(self):
+        model, _ = potts_model()
+        solver = MCMCSolver(
+            model, GreedySampler(), ConstantSchedule(1.0), track_energy=False
+        )
+        result = solver.run(3)
+        assert all(np.isnan(e) for e in result.energy_history)
+
+    def test_callback_invoked_each_iteration(self):
+        model, _ = potts_model()
+        seen = []
+        solver = MCMCSolver(model, GreedySampler(), ConstantSchedule(1.0))
+        solver.run(4, callback=lambda k, labels, t: seen.append((k, t)))
+        assert [k for k, _ in seen] == [0, 1, 2, 3]
+
+    def test_rejects_zero_iterations(self):
+        model, _ = potts_model()
+        solver = MCMCSolver(model, GreedySampler(), ConstantSchedule(1.0))
+        with pytest.raises(ConfigError):
+            solver.run(0)
+
+    def test_final_energy_property(self):
+        model, _ = potts_model()
+        solver = MCMCSolver(model, GreedySampler(), ConstantSchedule(1.0))
+        result = solver.run(2)
+        assert result.final_energy == result.energy_history[-1]
+
+    def test_reproducible_given_seeds(self):
+        model, _ = potts_model()
+        def run_once():
+            sampler = SoftwareSampler(np.random.default_rng(11))
+            solver = MCMCSolver(model, sampler, ConstantSchedule(0.3), seed=5)
+            return solver.run(10).labels
+        assert np.array_equal(run_once(), run_once())

@@ -1,0 +1,114 @@
+"""Tests for parallel tempering."""
+
+import numpy as np
+import pytest
+
+from repro.core import NewRSUG, SoftwareSampler, label_distance_matrix
+from repro.mrf import GridMRF
+from repro.mrf.tempering import ParallelTempering, TemperingResult, geometric_ladder
+from repro.util import ConfigError
+
+
+def frustrated_model(h=8, w=8, m=2, seed=0):
+    """A two-basin Potts problem: deep local minima trap cold chains."""
+    rng = np.random.default_rng(seed)
+    unary = rng.random((h, w, m)) * 0.2
+    # Strong smoothing makes half-and-half states metastable.
+    return GridMRF(unary, label_distance_matrix(m, "binary"), weight=0.5)
+
+
+def software_factory(base_seed=100):
+    def factory(index):
+        return SoftwareSampler(np.random.default_rng(base_seed + index))
+
+    return factory
+
+
+class TestLadder:
+    def test_geometric_spacing(self):
+        ladder = geometric_ladder(0.1, 0.8, 4)
+        assert len(ladder) == 4
+        assert ladder[0] == pytest.approx(0.1)
+        assert ladder[-1] == pytest.approx(0.8)
+        ratios = [b / a for a, b in zip(ladder, ladder[1:])]
+        assert max(ratios) - min(ratios) < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            geometric_ladder(0.5, 0.1, 3)
+        with pytest.raises(ConfigError):
+            geometric_ladder(0.1, 0.5, 1)
+
+
+class TestConstruction:
+    def test_rejects_bad_ladders(self):
+        model = frustrated_model()
+        with pytest.raises(ConfigError):
+            ParallelTempering(model, software_factory(), [0.5])
+        with pytest.raises(ConfigError):
+            ParallelTempering(model, software_factory(), [0.5, 0.4])
+        with pytest.raises(ConfigError):
+            ParallelTempering(model, software_factory(), [0.2, 0.5], swap_interval=0)
+
+
+class TestRun:
+    def test_histories_and_swap_accounting(self):
+        model = frustrated_model()
+        pt = ParallelTempering(
+            model, software_factory(), geometric_ladder(0.05, 0.6, 3), seed=1
+        )
+        result = pt.run(20)
+        assert len(result.energy_history) == 20
+        assert all(len(row) == 3 for row in result.energy_history)
+        assert result.swap_attempts > 0
+        assert 0.0 <= result.swap_rate <= 1.0
+
+    def test_swaps_do_happen_with_close_temperatures(self):
+        model = frustrated_model()
+        pt = ParallelTempering(
+            model, software_factory(), [0.3, 0.32, 0.34], seed=2
+        )
+        result = pt.run(30)
+        assert result.swap_rate > 0.5  # near-equal temperatures swap freely
+
+    def test_cold_chain_reaches_low_energy(self):
+        model = frustrated_model(seed=3)
+        pt = ParallelTempering(
+            model, software_factory(), geometric_ladder(0.02, 0.5, 4), seed=3
+        )
+        result = pt.run(40)
+        # Compare against a single cold chain with the same budget.
+        from repro.mrf import ConstantSchedule, MCMCSolver
+
+        single = MCMCSolver(
+            model,
+            SoftwareSampler(np.random.default_rng(200)),
+            ConstantSchedule(0.02),
+            init="random",
+            seed=3,
+        ).run(40)
+        assert result.final_energy <= single.final_energy + 1.0
+
+    def test_runs_on_rsu_backends(self):
+        model = frustrated_model(seed=4)
+
+        def rsu_factory(index):
+            return NewRSUG(model.max_energy(), np.random.default_rng(300 + index))
+
+        pt = ParallelTempering(
+            model, rsu_factory, geometric_ladder(0.03, 0.4, 3), seed=4
+        )
+        result = pt.run(15)
+        assert result.labels.shape == model.shape
+
+    def test_rejects_zero_sweeps(self):
+        model = frustrated_model()
+        pt = ParallelTempering(model, software_factory(), [0.1, 0.3], seed=0)
+        with pytest.raises(ConfigError):
+            pt.run(0)
+
+    def test_result_swap_rate_empty(self):
+        result = TemperingResult(
+            labels=np.zeros((2, 2)), temperatures=[0.1, 0.2], energy_history=[[0, 0]]
+        )
+        assert result.swap_rate == 0.0

@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) for the extension subsystems."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import RSUConfig, new_design_config, win_probabilities
+from repro.core.datapath import EnergyDatapath
+from repro.core.phase_type import phase_type_mean, phase_type_variance, stage_moments
+from repro.core.pipeline import (
+    legacy_variable_latency,
+    new_variable_latency,
+    ret_network_replicas,
+    sampling_window_cycles,
+)
+from repro.metrics import label_accuracy, psnr
+from repro.rng.battery import detect_period
+
+# ---------------------------------------------------------------------------
+# Analytic win probabilities
+# ---------------------------------------------------------------------------
+
+code_lists = st.lists(st.sampled_from([0, 1, 2, 4, 8]), min_size=1, max_size=6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(code_lists, st.sampled_from(["random", "first", "last"]))
+def test_win_probabilities_form_distribution(codes, policy):
+    wins = win_probabilities(codes, new_design_config(), policy)
+    assert np.all(wins >= -1e-12)
+    assert np.isclose(wins.sum(), 1.0, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(code_lists)
+def test_higher_code_never_less_likely(codes):
+    wins = win_probabilities(codes, new_design_config(), "random")
+    order = np.argsort(codes)
+    sorted_wins = wins[order]
+    sorted_codes = np.asarray(codes)[order]
+    for i in range(len(codes) - 1):
+        if sorted_codes[i + 1] > sorted_codes[i]:
+            assert sorted_wins[i + 1] >= sorted_wins[i] - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from([1, 2, 4, 8]), st.floats(0.05, 0.9))
+def test_cutoff_competitor_changes_nothing(code, truncation):
+    config = RSUConfig(truncation=truncation)
+    alone = win_probabilities([code, 0], config, "random")
+    assert np.isclose(alone[0], 1.0)
+    assert alone[1] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Phase-type moments
+# ---------------------------------------------------------------------------
+
+stage_chains = st.lists(st.sampled_from([1, 2, 4, 8]), min_size=1, max_size=5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(stage_chains, st.integers(3, 8), st.floats(0.05, 0.9))
+def test_phase_type_moments_additive(codes, time_bits, truncation):
+    config = RSUConfig(time_bits=time_bits, truncation=truncation)
+    mean = phase_type_mean(codes, config)
+    variance = phase_type_variance(codes, config)
+    assert mean > 0 and variance >= 0
+    parts_mean = sum(stage_moments(c, config)[0] for c in codes)
+    assert np.isclose(mean, parts_mean)
+    # Binned stages live within the window.
+    assert mean <= len(codes) * config.time_bins
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from([1, 2, 4, 8]), st.integers(3, 8), st.floats(0.05, 0.9))
+def test_truncated_stage_mean_below_ideal(code, time_bits, truncation):
+    binned = RSUConfig(time_bits=time_bits, truncation=truncation)
+    ideal = binned.with_(float_time=True)
+    # Conditioning on firing within the window can only shorten (or,
+    # with the ceil quantization, slightly lengthen by < 1 bin) the mean.
+    assert stage_moments(code, binned)[0] <= stage_moments(code, ideal)[0] + 1.0
+
+
+# ---------------------------------------------------------------------------
+# Datapath
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def datapath_cases(draw):
+    m = draw(st.integers(2, 12))
+    distance = draw(st.sampled_from(["squared", "absolute", "binary"]))
+    unit = EnergyDatapath(np.arange(m), distance=distance)
+    n = draw(st.integers(1, 8))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    singleton = rng.integers(0, 200, n)
+    labels = rng.integers(0, m, n)
+    neighbors = rng.integers(0, m + 1, (n, 4))
+    return unit, singleton, labels, neighbors
+
+
+@settings(max_examples=50, deadline=None)
+@given(datapath_cases())
+def test_datapath_output_bounded_and_deterministic(case):
+    unit, singleton, labels, neighbors = case
+    out1 = unit.compute(singleton, labels, neighbors)
+    out2 = unit.compute(singleton, labels, neighbors)
+    assert np.array_equal(out1, out2)
+    assert out1.min() >= 0 and out1.max() <= 255
+
+
+@settings(max_examples=50, deadline=None)
+@given(datapath_cases())
+def test_datapath_monotone_in_singleton(case):
+    unit, singleton, labels, neighbors = case
+    base = unit.compute(singleton, labels, neighbors)
+    bumped = unit.compute(singleton + 1, labels, neighbors)
+    assert np.all(bumped >= base)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline formulas
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 64), st.integers(3, 8), st.floats(0.01, 0.9))
+def test_latency_formulas_consistent(labels, time_bits, truncation):
+    config = RSUConfig(time_bits=time_bits, truncation=truncation)
+    window = sampling_window_cycles(config)
+    latch = 1 if window == 1 else 0  # one-cycle windows latch next cycle
+    legacy = legacy_variable_latency(
+        labels, config.with_(scaling=False, cutoff=False, pow2_lambda=False)
+    )
+    new = new_variable_latency(labels, config)
+    assert legacy == 2 + window + 1 + latch + (labels - 1)
+    assert new == 2 * labels + window + 3 + latch
+    assert new > legacy - window  # decoupling costs latency at any size
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(0.005, 0.95))
+def test_replica_count_meets_budget(truncation):
+    config = RSUConfig(truncation=truncation)
+    replicas = ret_network_replicas(config)
+    assert truncation**replicas <= 0.004 + 1e-12
+    if replicas > 1:
+        assert truncation ** (replicas - 1) > 0.004
+
+
+# ---------------------------------------------------------------------------
+# Metrics and battery
+# ---------------------------------------------------------------------------
+
+images = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(2, 10), st.integers(2, 10)),
+    elements=st.floats(0, 1),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(images, st.floats(0.01, 0.3))
+def test_psnr_decreases_with_noise(image, sigma):
+    # Same noise realization at two amplitudes: clipping is monotone in
+    # the perturbation size, so the smaller amplitude can't score worse.
+    noise = np.random.default_rng(0).normal(0, 1, image.shape)
+    little = np.clip(image + (sigma / 4) * noise, 0, 1)
+    lots = np.clip(image + sigma * noise, 0, 1)
+    assert psnr(little, image) >= psnr(lots, image) - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(hnp.arrays(np.int64, st.tuples(st.integers(2, 8), st.integers(2, 8)),
+                  elements=st.integers(0, 3)))
+def test_label_accuracy_bounds(labels):
+    assert label_accuracy(labels, labels) == 1.0
+    assert 0.0 <= label_accuracy(labels, (labels + 1) % 4) <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 24))
+def test_period_detection_exact(period):
+    pattern = np.random.default_rng(period).integers(0, 2, period)
+    stream = np.tile(pattern, 20)
+    detected = detect_period(stream, 2 * period)
+    assert detected is not None
+    assert period % detected == 0  # the true period is a multiple

@@ -1,0 +1,113 @@
+"""Tests for the RNG statistical battery, applied to all stream sources."""
+
+import numpy as np
+import pytest
+
+from repro.rng import LFSR, MT19937
+from repro.rng.battery import (
+    block_chi_square_test,
+    detect_period,
+    monobit_test,
+    run_battery,
+    runs_test,
+    serial_correlation_test,
+)
+from repro.util import ConfigError, DataError
+
+
+def mt_bits(count, seed=7):
+    words = MT19937(seed).words(count // 32 + 1)
+    bits = ((words[:, None] >> np.arange(32, dtype=np.uint64)) & 1).ravel()
+    return bits[:count].astype(np.int64)
+
+
+class TestKnownGoodStreams:
+    def test_mt19937_passes_battery(self):
+        outcomes = run_battery(mt_bits(40_000))
+        for outcome in outcomes.values():
+            assert outcome.passed(), outcome
+
+    def test_numpy_bits_pass_battery(self):
+        bits = np.random.default_rng(0).integers(0, 2, 40_000)
+        outcomes = run_battery(bits)
+        for outcome in outcomes.values():
+            assert outcome.passed(), outcome
+
+    def test_lfsr_passes_short_range_tests(self):
+        # Within one period a maximal LFSR is statistically balanced.
+        bits = LFSR(width=19, seed=123).bits(40_000)
+        assert monobit_test(bits).passed()
+        assert runs_test(bits).passed()
+
+
+class TestKnownBadStreams:
+    def test_constant_stream_fails_monobit(self):
+        assert not monobit_test(np.ones(1000, dtype=int)).passed()
+
+    def test_alternating_stream_fails_runs(self):
+        bits = np.tile([0, 1], 2000)
+        assert not runs_test(bits).passed()
+
+    def test_correlated_stream_fails_serial(self):
+        rng = np.random.default_rng(1)
+        base = rng.integers(0, 2, 5000)
+        sticky = base.copy()
+        sticky[1:] = np.where(rng.random(4999) < 0.8, sticky[:-1], base[1:])
+        assert not serial_correlation_test(sticky).passed()
+
+    def test_biased_blocks_fail_chi_square(self):
+        bits = np.tile([1, 1, 1, 0], 3000)
+        assert not block_chi_square_test(bits, block_bits=4).passed()
+
+
+class TestPeriodDetection:
+    def test_detects_short_lfsr_period(self):
+        # A 5-bit maximal LFSR has period 31 — visible in 200 bits.
+        bits = LFSR(width=5, seed=1).bits(200)
+        assert detect_period(bits, 64) == 31
+
+    def test_mt_has_no_short_period(self):
+        assert detect_period(mt_bits(8000), 2000) is None
+
+    def test_lfsr19_has_no_short_period(self):
+        # The 19-bit LFSR's period is 2^19 - 1; nothing short shows up.
+        bits = LFSR(width=19, seed=77).bits(8000)
+        assert detect_period(bits, 2000) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            detect_period(np.zeros(10, dtype=int), 10)
+
+
+class TestInputValidation:
+    def test_rejects_non_binary(self):
+        with pytest.raises(DataError):
+            monobit_test(np.array([0, 1, 2] * 100))
+
+    def test_rejects_short_stream(self):
+        with pytest.raises(DataError):
+            monobit_test(np.array([0, 1] * 10))
+
+    def test_chi_square_needs_enough_blocks(self):
+        with pytest.raises(DataError):
+            block_chi_square_test(np.zeros(200, dtype=int) | 1, block_bits=8)
+
+    def test_serial_lag_bounds(self):
+        with pytest.raises(ConfigError):
+            serial_correlation_test(mt_bits(200), lag=0)
+
+
+class TestRSUEntropyStream:
+    def test_rsu_ttf_low_bit_is_usable_entropy(self):
+        """The RSU's binned TTFs carry extractable physical entropy: the
+        parity of the bin index of a mid-rate exponential passes the
+        balance tests after von Neumann-style whitening is NOT even
+        needed at this rate."""
+        from repro.core import TTFSampler, new_design_config
+
+        config = new_design_config()
+        sampler = TTFSampler(config, np.random.default_rng(3))
+        ttf = sampler.sample(np.full((60_000, 1), 1)).ravel()
+        fired = ttf[ttf <= config.time_bins]
+        bits = (fired & 1).astype(np.int64)[:40_000]
+        assert monobit_test(bits).passed(alpha=0.001)

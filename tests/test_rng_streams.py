@@ -1,0 +1,37 @@
+"""Unit tests for the BitSource adapters."""
+
+import numpy as np
+
+from repro.rng import LFSR, MT19937, NumpyBitSource, uniform_from_bits
+from repro.rng.streams import LFSRBitSource, MTBitSource
+
+
+class TestNumpyBitSource:
+    def test_shape_and_range(self):
+        src = NumpyBitSource(np.random.default_rng(0))
+        u = src.uniforms(100)
+        assert u.shape == (100,)
+        assert np.all((u >= 0) & (u < 1))
+
+
+class TestLFSRBitSource:
+    def test_matches_underlying_lfsr(self):
+        direct = LFSR(width=19, seed=3).uniforms(20, 19)
+        adapted = LFSRBitSource(LFSR(width=19, seed=3)).uniforms(20)
+        assert np.allclose(direct, adapted)
+
+
+class TestMTBitSource:
+    def test_matches_underlying_mt(self):
+        direct = MT19937(11).uniforms(20)
+        adapted = MTBitSource(MT19937(11)).uniforms(20)
+        assert np.allclose(direct, adapted)
+
+
+class TestUniformFromBits:
+    def test_maps_full_range(self):
+        words = np.array([0, 1 << 7, (1 << 8) - 1])
+        u = uniform_from_bits(words, 8)
+        assert u[0] == 0.0
+        assert abs(u[1] - 0.5) < 1e-12
+        assert u[2] < 1.0

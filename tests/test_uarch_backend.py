@@ -1,0 +1,78 @@
+"""Machine-in-the-loop tests: structural pipeline driving real solves."""
+
+import numpy as np
+import pytest
+
+from repro.core import legacy_design_config, new_design_config
+from repro.uarch import CycleCountingBackend, MachineBackend
+from repro.util import ConfigError
+
+
+class TestBackendContract:
+    def test_new_style_sampling(self):
+        backend = MachineBackend(new_design_config(), 1.0, np.random.default_rng(0))
+        energies = np.random.default_rng(1).random((12, 5))
+        labels = backend.sample(energies, 0.1)
+        assert labels.shape == (12,)
+        assert backend.total_cycles > 0 and backend.batches == 1
+
+    def test_legacy_style_sampling(self):
+        backend = MachineBackend(legacy_design_config(), 1.0, np.random.default_rng(0))
+        labels = backend.sample(np.random.default_rng(1).random((8, 4)), 0.1)
+        assert labels.shape == (8,)
+
+    def test_rejects_mixed_technique_stack(self):
+        mixed = new_design_config(cutoff=False)
+        with pytest.raises(ConfigError):
+            MachineBackend(mixed, 1.0, np.random.default_rng(0))
+
+    def test_dominant_label_always_wins(self):
+        backend = MachineBackend(new_design_config(), 1.0, np.random.default_rng(2))
+        energies = np.full((30, 4), 0.9)
+        energies[:, 1] = 0.0
+        labels = backend.sample(energies, 0.01)
+        assert np.all(labels == 1)
+
+
+class TestCycleCounting:
+    def test_throughput_near_one_label_per_cycle(self):
+        backend = CycleCountingBackend(
+            new_design_config(), 1.0, np.random.default_rng(3)
+        )
+        energies = np.random.default_rng(4).random((200, 8))
+        backend.sample(energies, 0.1)
+        backend.sample(energies, 0.1)
+        # Fill latency amortizes over 200 variables -> close to 1.0.
+        assert 0.9 < backend.measured_throughput() <= 1.0
+
+    def test_throughput_requires_batches(self):
+        backend = CycleCountingBackend(
+            new_design_config(), 1.0, np.random.default_rng(0)
+        )
+        with pytest.raises(ConfigError):
+            backend.measured_throughput()
+
+
+class TestEndToEndSolve:
+    def test_machine_solves_a_small_stereo_problem(self):
+        """The cycle-driven pipeline, used as the solver's sampler,
+        reaches quality comparable to the functional RSU model."""
+        from repro.apps.stereo import StereoParams, build_stereo_mrf, solve_stereo
+        from repro.data import load_stereo
+        from repro.metrics import bad_pixel_percentage
+        from repro.mrf import MCMCSolver, geometric_for_span
+
+        dataset = load_stereo("poster", scale=0.18)
+        params = StereoParams(iterations=40)
+        model = build_stereo_mrf(dataset, params)
+        backend = CycleCountingBackend(
+            new_design_config(), model.max_energy(), np.random.default_rng(5)
+        )
+        schedule = geometric_for_span(params.t0, params.t_final, params.iterations)
+        solver = MCMCSolver(model, backend, schedule, seed=3, track_energy=False)
+        labels = solver.run(params.iterations).labels
+        machine_bp = bad_pixel_percentage(labels, dataset.gt_disparity)
+
+        functional = solve_stereo(dataset, "new_rsug", params, seed=3)
+        assert abs(machine_bp - functional.bad_pixel) < 15.0
+        assert backend.measured_throughput() > 0.8

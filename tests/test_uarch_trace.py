@@ -1,0 +1,100 @@
+"""Tests for pipeline tracing and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core import legacy_design_config, new_design_config
+from repro.uarch import LegacyMachine, NewMachine, jobs_from_energies
+from repro.uarch.trace import STAGE_LETTERS, PipelineTrace
+from repro.util import ConfigError
+
+
+def traced_new_run(n_vars=2, labels=4, seed=0):
+    trace = PipelineTrace()
+    jobs = jobs_from_energies(
+        np.random.default_rng(seed).integers(0, 256, (n_vars, labels))
+    )
+    machine = NewMachine(
+        new_design_config(), 40.0, np.random.default_rng(seed + 1), trace=trace
+    )
+    result = machine.run(jobs)
+    return trace, result
+
+
+class TestRecording:
+    def test_every_evaluation_passes_all_new_stages(self):
+        trace, _ = traced_new_run()
+        grouped = trace.by_evaluation()
+        assert len(grouped) == 2 * 4
+        for events in grouped.values():
+            stages = [e.stage for e in events]
+            for required in ("issue", "energy", "fifo", "scale", "convert", "select"):
+                assert required in stages
+            # Cut-off labels skip RET; others occupy it for the window.
+            if "ret" in stages:
+                assert stages.count("ret") == 4
+
+    def test_stage_order_monotone_in_cycles(self):
+        trace, _ = traced_new_run()
+        order = ["issue", "energy", "fifo", "scale", "convert"]
+        for events in trace.by_evaluation().values():
+            cycles = {e.stage: e.cycle for e in events if e.stage in order}
+            observed = [cycles[s] for s in order if s in cycles]
+            assert observed == sorted(observed)
+
+    def test_legacy_trace_records_stalls(self):
+        trace = PipelineTrace()
+        jobs = jobs_from_energies(
+            np.random.default_rng(0).integers(0, 256, (3, 4))
+        )
+        machine = LegacyMachine(
+            legacy_design_config(), 40.0, np.random.default_rng(1), trace=trace
+        )
+        machine.run(jobs, temperature_schedule={1: 20.0})
+        stalls = [e for e in trace.events if e.stage == "stall"]
+        assert len(stalls) == 128
+
+    def test_bounded_events(self):
+        trace = PipelineTrace(max_events=5)
+        for cycle in range(20):
+            trace.record(cycle, "issue", 0, 0)
+        assert len(trace.events) == 5
+
+    def test_rejects_unknown_stage(self):
+        with pytest.raises(ConfigError):
+            PipelineTrace().record(0, "teleport", 0, 0)
+
+
+class TestRendering:
+    def test_render_contains_stage_letters(self):
+        trace, _ = traced_new_run()
+        text = trace.render()
+        for letter in ("I", "E", "F", "S", "C", "R", "W"):
+            assert letter in text
+
+    def test_render_row_cap(self):
+        trace, _ = traced_new_run(n_vars=4, labels=8)
+        text = trace.render(max_rows=3)
+        assert "more evaluations" in text
+
+    def test_render_window(self):
+        trace, _ = traced_new_run()
+        text = trace.render(start_cycle=0, end_cycle=5)
+        header = text.splitlines()[0]
+        assert header.endswith("012345")
+
+    def test_render_empty_trace_rejected(self):
+        with pytest.raises(ConfigError):
+            PipelineTrace().render()
+
+    def test_occupancy_profile(self):
+        trace, result = traced_new_run()
+        ret = trace.occupancy("ret")
+        # Steady state: at most `window` concurrent RET observations.
+        assert max(ret.values()) <= 4
+        assert sum(ret.values()) > 0
+
+    def test_stage_letter_table_complete(self):
+        assert set(STAGE_LETTERS) >= {
+            "issue", "energy", "convert", "fifo", "scale", "ret", "select", "stall",
+        }

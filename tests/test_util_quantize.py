@@ -1,0 +1,93 @@
+"""Unit tests for repro.util.quantize."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    ConfigError,
+    clamp,
+    nearest_pow2,
+    pow2_floor,
+    quantize_to_bits,
+    quantize_unsigned,
+    unsigned_max,
+)
+
+
+class TestUnsignedMax:
+    def test_common_widths(self):
+        assert unsigned_max(1) == 1
+        assert unsigned_max(4) == 15
+        assert unsigned_max(8) == 255
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigError):
+            unsigned_max(0)
+
+
+class TestClamp:
+    def test_clamps_both_ends(self):
+        out = clamp(np.array([-1.0, 0.5, 2.0]), 0.0, 1.0)
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ConfigError):
+            clamp(np.array([1.0]), 2.0, 1.0)
+
+
+class TestQuantizeUnsigned:
+    def test_rounds_to_nearest(self):
+        out = quantize_unsigned(np.array([0.4, 0.6, 2.5]), 8)
+        assert out.tolist() == [0, 1, 2]  # banker's rounding at .5
+
+    def test_clamps_to_field(self):
+        out = quantize_unsigned(np.array([-3.0, 300.0]), 8)
+        assert out.tolist() == [0, 255]
+
+    def test_output_dtype_is_int64(self):
+        assert quantize_unsigned(np.array([1.0]), 4).dtype == np.int64
+
+
+class TestQuantizeToBits:
+    def test_full_scale_maps_to_top(self):
+        out = quantize_to_bits(np.array([0.0, 5.0, 10.0]), 8, full_scale=10.0)
+        assert out.tolist() == [0, 128, 255]
+
+    def test_rejects_nonpositive_full_scale(self):
+        with pytest.raises(ConfigError):
+            quantize_to_bits(np.array([1.0]), 8, full_scale=0.0)
+
+    def test_above_full_scale_clamps(self):
+        out = quantize_to_bits(np.array([20.0]), 8, full_scale=10.0)
+        assert out.tolist() == [255]
+
+
+class TestPow2Floor:
+    def test_exact_powers_fixed(self):
+        values = np.array([0, 1, 2, 4, 8, 16])
+        assert pow2_floor(values).tolist() == values.tolist()
+
+    def test_intermediate_values_floor(self):
+        assert pow2_floor(np.array([3, 5, 6, 7, 9, 15])).tolist() == [2, 4, 4, 4, 8, 8]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            pow2_floor(np.array([-1]))
+
+
+class TestNearestPow2:
+    def test_ties_round_down(self):
+        # 3 is equidistant between 2 and 4; 6 between 4 and 8.
+        assert nearest_pow2(np.array([3, 6, 12])).tolist() == [2, 4, 8]
+
+    def test_rounds_up_when_closer(self):
+        assert nearest_pow2(np.array([7, 13, 15])).tolist() == [8, 16, 16]
+
+    def test_zero_stays_zero(self):
+        assert nearest_pow2(np.array([0])).tolist() == [0]
+
+    def test_all_outputs_are_powers_or_zero(self):
+        values = np.arange(0, 300)
+        out = nearest_pow2(values)
+        nonzero = out[out > 0]
+        assert np.all((nonzero & (nonzero - 1)) == 0)

@@ -1,0 +1,67 @@
+"""Unit tests for repro.util.validation and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    ConfigError,
+    DataError,
+    ReproError,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_shape_2d,
+)
+
+
+class TestErrorHierarchy:
+    def test_config_error_is_repro_and_value_error(self):
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(ConfigError, ValueError)
+
+    def test_data_error_is_repro_and_value_error(self):
+        assert issubclass(DataError, ReproError)
+        assert issubclass(DataError, ValueError)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 0.1)
+
+    @pytest.mark.parametrize("value", [0.0, -1.0])
+    def test_rejects_nonpositive(self, value):
+        with pytest.raises(ConfigError, match="x"):
+            check_positive("x", value)
+
+
+class TestCheckProbability:
+    def test_accepts_interior(self):
+        check_probability("p", 0.5)
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_boundary_and_outside(self, value):
+        with pytest.raises(ConfigError):
+            check_probability("p", value)
+
+
+class TestCheckInRange:
+    def test_accepts_inclusive_bounds(self):
+        check_in_range("v", 0.0, 0.0, 1.0)
+        check_in_range("v", 1.0, 0.0, 1.0)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigError):
+            check_in_range("v", 1.1, 0.0, 1.0)
+
+
+class TestCheckShape2D:
+    def test_accepts_2d(self):
+        check_shape_2d("a", np.zeros((2, 3)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataError):
+            check_shape_2d("a", np.zeros(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            check_shape_2d("a", np.zeros((0, 3)))
