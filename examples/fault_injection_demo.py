@@ -1,0 +1,111 @@
+"""Fault injection and resilient execution on the RSU-G array.
+
+Runs the same Potts restoration problem over the architectural
+interface four times: fault-free, under transient evaluation faults,
+with a unit stuck at one label, and with more dead units than the
+array has spares.  The :class:`ResilientDriver` retries NACKed
+evaluations, screens every unit's label statistics against its peers,
+confirms suspects with an analytic probe, quarantines bad units onto
+spares, and — when the array is beyond saving — finishes the solve on
+the bit-faithful software sampler.  Every decision lands in a
+structured incident log.
+
+Run:  python examples/fault_injection_demo.py
+"""
+
+import numpy as np
+
+from repro.core import new_design_config
+from repro.faults import (
+    FaultPlan,
+    FaultyRSUDevice,
+    ResiliencePolicy,
+    ResilientDriver,
+    UnitArrayFault,
+    WireFault,
+)
+from repro.isa import Configure
+
+
+def make_problem(h=20, w=26, m=4, seed=0):
+    rng = np.random.default_rng(seed)
+    target = np.zeros((h, w), dtype=int)
+    target[:, w // 2 :] = m - 1
+    target[h // 3 : 2 * h // 3, w // 4 : w // 2] = 1
+    unary = rng.integers(0, 30, (h, w, m))
+    rows = np.arange(h)[:, None]
+    cols = np.arange(w)[None, :]
+    unary[rows, cols, target] = 0
+    return unary, target
+
+
+SCENARIOS = [
+    ("fault-free", FaultPlan.none(), ResiliencePolicy()),
+    (
+        "2% transients + noisy wire",
+        FaultPlan(
+            units=UnitArrayFault(n_units=4, spare_units=2, transient_rate=0.02, seed=5),
+            wire=WireFault(flip_rate=2e-4, drop_rate=1e-4, seed=6),
+        ),
+        ResiliencePolicy(),
+    ),
+    (
+        "unit stuck at label 0",
+        FaultPlan(
+            units=UnitArrayFault(n_units=4, spare_units=2, stuck_units=((1, 0),), seed=7)
+        ),
+        # Small grid -> few samples per unit per sweep: run the passive
+        # screen at a more sensitive threshold (the probe still guards
+        # against false positives).
+        ResiliencePolicy(health_pvalue=1e-3),
+    ),
+    (
+        "3 dead units, 1 spare",
+        FaultPlan(
+            units=UnitArrayFault(n_units=4, spare_units=1, dead_units=(0, 1, 2), seed=9)
+        ),
+        ResiliencePolicy(),
+    ),
+]
+
+
+def main():
+    unary, target = make_problem()
+    iterations = 25
+    temperatures = [25.0 * 0.85**k + 1.0 for k in range(iterations)]
+    for name, plan, policy in SCENARIOS:
+        device = FaultyRSUDevice(new_design_config(), np.random.default_rng(7), plan=plan)
+        driver = ResilientDriver(
+            device,
+            unary,
+            Configure("binary", singleton_weight=1, doubleton_weight=8, n_labels=4),
+            policy=policy,
+        )
+        labels = driver.solve(iterations, temperatures)
+        accuracy = (labels == target).mean()
+        summary = driver.summary()
+        counts = summary["incident_counts"]
+        print(f"\n=== {name} ===")
+        print(
+            f"accuracy {accuracy:.2f} | nacks {counts.get('unit_nack', 0)}, "
+            f"recovered {counts.get('recovered', 0)}, "
+            f"corrupt transfers {counts.get('transfer_corrupt', 0)}"
+        )
+        print(
+            f"quarantined units {summary['quarantined_units']} | "
+            f"fell back to software: {summary['fell_back']} | "
+            f"simulated backoff {summary['simulated_backoff_s']:.4f} s"
+        )
+        for incident in driver.incidents:
+            if incident.kind in ("unit_suspect", "probe", "quarantine", "fallback"):
+                print(f"  sweep {incident.sweep:2d}: {incident.to_dict()}")
+
+    print(
+        "\nThe resilient path is bit-identical to the plain driver when no"
+        "\nfaults fire, and degrades to the paper's software baseline only"
+        "\nwhen the array is unrecoverable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ from repro.core.params import RSUConfig
 from repro.core.pipeline import RESIDUAL_BUDGET, ret_network_replicas
 from repro.core.ttf import TTFSampler
 from repro.util.errors import ConfigError
+from repro.util.validation import check_finite
 
 
 def dark_count_probability_per_window(
@@ -33,6 +34,8 @@ def dark_count_probability_per_window(
     bins/s; a Poisson dark-count process at ``dark_count_rate_hz``
     contributes ``1 - exp(-rate * window_seconds)``.
     """
+    check_finite("dark_count_rate_hz", dark_count_rate_hz)
+    check_finite("frequency_hz", frequency_hz)
     if dark_count_rate_hz < 0:
         raise ConfigError(f"dark_count_rate_hz must be >= 0, got {dark_count_rate_hz}")
     if frequency_hz <= 0:

@@ -19,6 +19,7 @@ from repro.experiments import (
     fig8,
     fig9,
     quality_vs_time,
+    robustness,
     table1,
     table2,
     table3,
@@ -43,6 +44,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "quality_vs_time": quality_vs_time.run,
     "ablations": ablations.run,
     "energy_bits": energy_bits.run,
+    "robustness": robustness.run,
 }
 
 

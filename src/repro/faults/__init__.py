@@ -1,0 +1,52 @@
+"""Fault injection and resilient execution for the RSU-G stack.
+
+Composable fault models for every pipeline stage (entropy, SPAD/TTF,
+unit array, host wire), a faulty functional device, statistical health
+checks, a structured incident log, and a :class:`ResilientDriver` that
+retries, quarantines, remaps, and gracefully degrades to the software
+sampler.
+"""
+
+from repro.faults.device import FaultyRSUDevice, UnitNack
+from repro.faults.health import (
+    chi_square_goodness,
+    chi_square_two_sample,
+    ks_distance,
+    ks_pvalue,
+    label_counts,
+)
+from repro.faults.incidents import SEVERITIES, Incident, IncidentLog
+from repro.faults.models import (
+    EntropyFault,
+    FaultPlan,
+    FaultyBitSource,
+    FaultySPADSampler,
+    SPADFault,
+    UnitArrayFault,
+    WireChannel,
+    WireFault,
+)
+from repro.faults.resilient import ResiliencePolicy, ResilientDriver
+
+__all__ = [
+    "EntropyFault",
+    "FaultPlan",
+    "FaultyBitSource",
+    "FaultyRSUDevice",
+    "FaultySPADSampler",
+    "Incident",
+    "IncidentLog",
+    "ResiliencePolicy",
+    "ResilientDriver",
+    "SEVERITIES",
+    "SPADFault",
+    "UnitArrayFault",
+    "UnitNack",
+    "WireChannel",
+    "WireFault",
+    "chi_square_goodness",
+    "chi_square_two_sample",
+    "ks_distance",
+    "ks_pvalue",
+    "label_counts",
+]

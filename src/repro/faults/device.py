@@ -1,0 +1,160 @@
+"""Functional RSU-G device with injected array faults.
+
+:class:`FaultyRSUDevice` extends :class:`~repro.isa.device.RSUDevice`
+with the array-level view the fault models need: EVALUATE commands are
+striped round-robin over ``n_units`` active units (the schedule of
+:mod:`repro.hw.system`), each of which can be healthy, transiently
+failing, stuck-at-label, or dead.  SPAD faults replace the TTF stage
+with :class:`~repro.faults.models.FaultySPADSampler`.
+
+Failed evaluations produce a :class:`UnitNack` in the response stream
+instead of a label — the device-side half of the retry protocol the
+:class:`~repro.faults.resilient.ResilientDriver` implements.  The
+device also exposes the quarantine-and-remap control a real array would
+carry as a unit-disable register: :meth:`quarantine_unit` retires a bad
+unit onto a healthy spare.
+
+With a null :class:`~repro.faults.models.FaultPlan` every code path is
+bit-identical to the plain :class:`~repro.isa.device.RSUDevice`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.params import RSUConfig
+from repro.faults.models import FaultPlan, FaultySPADSampler
+from repro.isa.commands import Command, Evaluate
+from repro.isa.device import RSUDevice
+from repro.util.errors import ConfigError, UnrecoverableFaultError
+
+
+@dataclass(frozen=True)
+class UnitNack:
+    """A failed evaluation: the unit returned no label for the site."""
+
+    site: int
+    unit: int
+    kind: str  # "transient" or "dead"
+
+
+class FaultyRSUDevice(RSUDevice):
+    """An :class:`RSUDevice` executing under a :class:`FaultPlan`.
+
+    Parameters
+    ----------
+    plan:
+        The composed fault scenario.  ``plan.units`` enables the unit
+        array model (round-robin striping, NACKs, quarantine);
+        ``plan.spad`` swaps the TTF stage for the faulty SPAD sampler.
+        Wire faults are applied by the driver (they live on the host
+        interface, before decode); entropy faults apply to pseudo-RNG
+        backends and do not touch this device.
+    """
+
+    def __init__(
+        self,
+        config: RSUConfig,
+        rng: np.random.Generator,
+        design: str = "new",
+        plan: Optional[FaultPlan] = None,
+    ):
+        super().__init__(config, rng, design)
+        self.plan = plan if plan is not None else FaultPlan.none()
+        if self.plan.spad is not None and not self.plan.spad.is_null:
+            self._ttf = FaultySPADSampler(config, rng, self.plan.spad)
+        units = self.plan.units
+        self._unit_fault = units
+        self.unit_trace: List[int] = []
+        self.nack_counts: Dict[str, int] = {}
+        self._quarantined: List[int] = []
+        if units is not None:
+            self._active_units = list(range(units.n_units))
+            self._spare_pool = list(
+                range(units.n_units, units.n_units + units.spare_units)
+            )
+            self._stuck = {unit: int(label) for unit, label in units.stuck_units}
+            self._dead = set(units.dead_units)
+            self._unit_rng = np.random.default_rng(units.seed)
+            self._eval_cursor = 0
+
+    # -- array visibility --------------------------------------------------
+    @property
+    def active_units(self) -> List[int]:
+        """Unit ids currently mapped into the schedule."""
+        if self._unit_fault is None:
+            return [0]
+        return list(self._active_units)
+
+    @property
+    def quarantined_units(self) -> List[int]:
+        """Units retired by :meth:`quarantine_unit`, in order."""
+        return list(self._quarantined)
+
+    @property
+    def spares_remaining(self) -> int:
+        """Healthy spares still available for remapping."""
+        if self._unit_fault is None:
+            return 0
+        return len(self._spare_pool)
+
+    def quarantine_unit(self, unit: int) -> int:
+        """Retire ``unit`` and remap its schedule slot onto a spare.
+
+        Returns the spare's id.  Raises
+        :class:`~repro.util.errors.UnrecoverableFaultError` when the
+        spare pool is exhausted — the caller's cue to degrade to
+        software.
+        """
+        if self._unit_fault is None:
+            raise ConfigError("quarantine requires the unit-array fault model")
+        if unit not in self._active_units:
+            raise ConfigError(f"unit {unit} is not in the active schedule")
+        if not self._spare_pool:
+            raise UnrecoverableFaultError(
+                f"no spare unit left to replace unit {unit}"
+            )
+        spare = self._spare_pool.pop(0)
+        self._active_units[self._active_units.index(unit)] = spare
+        self._quarantined.append(unit)
+        return spare
+
+    # -- command execution -------------------------------------------------
+    def execute(self, commands: List[Command], words: int = None) -> List[object]:
+        if self._unit_fault is None:
+            return super().execute(commands, words)
+        before = len(self.responses)
+        for command in commands:
+            if isinstance(command, Evaluate):
+                self._evaluate_on_unit(command)
+            else:
+                self._dispatch(command)
+        if words is not None:
+            self.stats.words_consumed += words
+        return self.responses[before:]
+
+    def _evaluate_on_unit(self, command: Evaluate) -> None:
+        unit = self._active_units[self._eval_cursor % len(self._active_units)]
+        self._eval_cursor += 1
+        self.unit_trace.append(unit)
+        if unit in self._dead:
+            self._nack(command, unit, "dead")
+            return
+        rate = self._unit_fault.transient_rate
+        if rate > 0.0 and self._unit_rng.random() < rate:
+            self._nack(command, unit, "transient")
+            return
+        self._evaluate(command)
+        stuck = self._stuck.get(unit)
+        if stuck is not None:
+            # The sampler ran (entropy consumed) but the output latch is
+            # stuck: the reported label never changes.
+            self.responses[-1] = stuck
+
+    def _nack(self, command: Evaluate, unit: int, kind: str) -> None:
+        self.responses.append(UnitNack(site=command.site, unit=unit, kind=kind))
+        self.stats.responses += 1
+        self.nack_counts[kind] = self.nack_counts.get(kind, 0) + 1

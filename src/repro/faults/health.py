@@ -1,0 +1,134 @@
+"""Statistical health checks for online sampler monitoring.
+
+Following the statistical-robustness programme for probabilistic
+accelerators (arXiv:1910.12346), end-point quality alone cannot tell a
+healthy sampler from a subtly broken one; the resilient driver instead
+tests the *samples* directly:
+
+* :func:`chi_square_goodness` — one unit's label counts against the
+  exact analytic conditional from :mod:`repro.core.analytic` (the
+  active probe check);
+* :func:`chi_square_two_sample` — one unit's label counts against the
+  pooled counts of its peers (the passive per-sweep screen, free of
+  extra traffic);
+* :func:`ks_distance` / :func:`ks_pvalue` — empirical binned-TTF
+  distribution against the analytic per-bin mass from
+  :func:`repro.core.ttf.bin_probabilities` (photon-statistics drift).
+
+All tests return p-values; the caller owns the thresholds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.util.errors import ConfigError, DataError
+
+
+def label_counts(labels: Iterable[int], n_labels: int) -> np.ndarray:
+    """Histogram of integer labels over ``[0, n_labels)``."""
+    arr = np.asarray(list(labels), dtype=np.int64)
+    if arr.size and (arr.min() < 0 or arr.max() >= n_labels):
+        raise DataError("labels outside [0, n_labels)")
+    return np.bincount(arr, minlength=n_labels)
+
+
+def chi_square_goodness(
+    observed: np.ndarray, expected_probs: np.ndarray, min_expected: float = 1.0
+) -> float:
+    """P-value of observed counts against an expected distribution.
+
+    Bins whose expected count falls below ``min_expected`` are merged
+    into a single tail bin (the standard validity fix for sparse
+    expectations).  Observed mass in a zero-probability bin is an
+    immediate failure (p = 0): the analytic conditional says that label
+    can never win, so a single occurrence proves a fault.
+    """
+    obs = np.asarray(observed, dtype=np.float64)
+    probs = np.asarray(expected_probs, dtype=np.float64)
+    if obs.shape != probs.shape or obs.ndim != 1:
+        raise ConfigError("observed and expected_probs must be equal-length 1-D")
+    total = obs.sum()
+    if total <= 0:
+        raise ConfigError("need at least one observation")
+    psum = probs.sum()
+    if psum <= 0:
+        raise ConfigError("expected_probs must have positive mass")
+    probs = probs / psum
+    if np.any(obs[probs == 0.0] > 0):
+        return 0.0
+    keep = probs > 0.0
+    obs, probs = obs[keep], probs[keep]
+    expected = probs * total
+    # Merge sparse bins (ascending expectation) into the smallest bin.
+    order = np.argsort(expected)
+    obs, expected = obs[order], expected[order]
+    while len(expected) > 2 and expected[0] < min_expected:
+        expected[1] += expected[0]
+        obs[1] += obs[0]
+        obs, expected = obs[1:], expected[1:]
+    if len(expected) < 2:
+        return 1.0
+    stat = float(((obs - expected) ** 2 / expected).sum())
+    dof = len(expected) - 1
+    return float(stats.chi2.sf(stat, dof))
+
+
+def chi_square_two_sample(counts_a: np.ndarray, counts_b: np.ndarray) -> float:
+    """P-value that two label-count vectors share one distribution.
+
+    A contingency chi-square over the 2 x M table; all-zero columns are
+    dropped.  Used as the passive per-unit screen: a stuck-at-label unit
+    diverges wildly from the pool of its peers.
+    """
+    a = np.asarray(counts_a, dtype=np.float64)
+    b = np.asarray(counts_b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ConfigError("count vectors must be equal-length 1-D")
+    keep = (a + b) > 0
+    a, b = a[keep], b[keep]
+    if len(a) < 2 or a.sum() == 0 or b.sum() == 0:
+        return 1.0
+    table = np.vstack([a, b])
+    row = table.sum(axis=1, keepdims=True)
+    col = table.sum(axis=0, keepdims=True)
+    expected = row @ col / table.sum()
+    stat = float(((table - expected) ** 2 / expected).sum())
+    dof = len(a) - 1
+    return float(stats.chi2.sf(stat, dof))
+
+
+def ks_distance(samples: Sequence[int], bin_probs: np.ndarray) -> float:
+    """Max CDF distance of binned TTF samples from an analytic mass.
+
+    ``bin_probs`` is the output of
+    :func:`repro.core.ttf.bin_probabilities` — mass over bins ``1..T``
+    plus the overflow bin; samples beyond ``T`` count as overflow.
+    """
+    probs = np.asarray(bin_probs, dtype=np.float64)
+    arr = np.asarray(list(samples), dtype=np.int64)
+    if arr.size == 0:
+        raise ConfigError("need at least one sample")
+    if arr.min() < 1:
+        raise DataError("binned TTF samples must be >= 1")
+    t_max = len(probs) - 1
+    clipped = np.minimum(arr, t_max + 1)
+    counts = np.bincount(clipped - 1, minlength=len(probs)).astype(np.float64)
+    empirical = np.cumsum(counts) / arr.size
+    analytic = np.cumsum(probs / probs.sum())
+    return float(np.abs(empirical - analytic).max())
+
+
+def ks_pvalue(samples: Sequence[int], bin_probs: np.ndarray) -> float:
+    """Asymptotic Kolmogorov-Smirnov p-value for :func:`ks_distance`.
+
+    Conservative on discrete (binned) data, which is the safe direction
+    for a health check: real faults still drive it to zero.
+    """
+    arr = np.asarray(list(samples))
+    distance = ks_distance(samples, bin_probs)
+    n = arr.size
+    return float(np.clip(stats.kstwobign.sf(distance * np.sqrt(n)), 0.0, 1.0))

@@ -1,0 +1,118 @@
+"""Structured incident log for resilient execution.
+
+Every recovery decision the :class:`~repro.faults.resilient.ResilientDriver`
+takes — a corrupted transfer retried, a unit NACK, a health check
+failed, a unit quarantined and remapped, the final fallback to software
+— is recorded as an :class:`Incident`.  The log is *logical-time only*
+(sweep index, attempt number, simulated backoff); it contains no
+wall-clock timestamps, so the same seed and fault schedule serialize to
+byte-identical JSONL — the property the determinism regression pins.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+#: Incident severities, in increasing order of concern.
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One structured entry in the resilience log."""
+
+    seq: int
+    sweep: int
+    kind: str
+    severity: str = "info"
+    unit: Optional[int] = None
+    site: Optional[int] = None
+    attempt: Optional[int] = None
+    detail: tuple = field(default_factory=tuple)  # sorted (key, value) pairs
+
+    def to_dict(self) -> dict:
+        """Plain-dict form with deterministic key order."""
+        out = {
+            "seq": self.seq,
+            "sweep": self.sweep,
+            "kind": self.kind,
+            "severity": self.severity,
+        }
+        if self.unit is not None:
+            out["unit"] = self.unit
+        if self.site is not None:
+            out["site"] = self.site
+        if self.attempt is not None:
+            out["attempt"] = self.attempt
+        if self.detail:
+            out["detail"] = dict(self.detail)
+        return out
+
+
+class IncidentLog:
+    """Append-only, deterministic incident record."""
+
+    def __init__(self):
+        self._items: List[Incident] = []
+
+    def record(
+        self,
+        sweep: int,
+        kind: str,
+        severity: str = "info",
+        unit: Optional[int] = None,
+        site: Optional[int] = None,
+        attempt: Optional[int] = None,
+        **detail,
+    ) -> Incident:
+        """Append one incident and return it."""
+        if severity not in SEVERITIES:
+            raise ValueError(f"severity must be one of {SEVERITIES}, got {severity!r}")
+        incident = Incident(
+            seq=len(self._items),
+            sweep=sweep,
+            kind=kind,
+            severity=severity,
+            unit=unit,
+            site=site,
+            attempt=attempt,
+            detail=tuple(sorted(detail.items())),
+        )
+        self._items.append(incident)
+        return incident
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Incident]:
+        return iter(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Histogram of incident kinds (deterministic key order)."""
+        counts: Dict[str, int] = {}
+        for incident in self._items:
+            counts[incident.kind] = counts.get(incident.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def of_kind(self, kind: str) -> List[Incident]:
+        """All incidents of one kind, in order."""
+        return [incident for incident in self._items if incident.kind == kind]
+
+    def worst_severity(self) -> Optional[str]:
+        """Highest severity present, or None for an empty log."""
+        if not self._items:
+            return None
+        rank = {name: i for i, name in enumerate(SEVERITIES)}
+        return max(self._items, key=lambda inc: rank[inc.severity]).severity
+
+    def to_jsonl(self) -> str:
+        """Serialize the log; byte-identical for identical histories."""
+        return "\n".join(
+            json.dumps(incident.to_dict(), sort_keys=True, separators=(",", ":"))
+            for incident in self._items
+        )

@@ -41,6 +41,9 @@ from repro.hw.perf import (
 from repro.hw.system import (
     ArrayConfig,
     SweepTiming,
+    degraded_sweep_timing,
+    degraded_units,
+    expected_attempts,
     size_array_for_rate,
     solve_time_seconds,
     sweep_timing,
@@ -63,6 +66,9 @@ __all__ = [
     "rsu_efficiency",
     "ArrayConfig",
     "SweepTiming",
+    "degraded_sweep_timing",
+    "degraded_units",
+    "expected_attempts",
     "size_array_for_rate",
     "solve_time_seconds",
     "sweep_timing",

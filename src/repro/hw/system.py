@@ -121,6 +121,84 @@ def solve_time_seconds(
     return iterations * timing.total_cycles / array.frequency_hz
 
 
+def expected_attempts(transient_rate: float, max_retries: int) -> float:
+    """Mean EVALUATE issues per variable under per-attempt failures.
+
+    A variable whose evaluation fails with probability ``r`` per attempt
+    is retried up to ``max_retries`` times, so it issues
+    ``1 + r + r^2 + ... + r^k`` attempts in expectation — the compute
+    inflation a transiently faulty array pays for retry-based recovery.
+    """
+    if not 0.0 <= transient_rate < 1.0:
+        raise ConfigError(
+            f"transient_rate must be in [0, 1), got {transient_rate}"
+        )
+    if max_retries < 0:
+        raise ConfigError(f"max_retries must be >= 0, got {max_retries}")
+    return sum(transient_rate**k for k in range(max_retries + 1))
+
+
+def degraded_units(array: ArrayConfig, quarantined: int, spare_units: int = 0) -> int:
+    """Units left in the schedule after quarantine-and-remap.
+
+    The first ``spare_units`` quarantined units are replaced one-for-one
+    by spares (no throughput loss); further quarantines shrink the
+    active array.  Raises once no unit is left — the performance-model
+    counterpart of the driver's fall-back-to-software condition.
+    """
+    if quarantined < 0 or spare_units < 0:
+        raise ConfigError("quarantined and spare_units must be >= 0")
+    remaining = array.units - max(0, quarantined - spare_units)
+    if remaining < 1:
+        raise ConfigError(
+            f"{quarantined} quarantined units exhaust the array of "
+            f"{array.units} (+{spare_units} spares)"
+        )
+    return remaining
+
+
+def degraded_sweep_timing(
+    height: int,
+    width: int,
+    labels: int,
+    array: ArrayConfig = ArrayConfig(),
+    config: RSUConfig = None,
+    quarantined: int = 0,
+    spare_units: int = 0,
+    transient_rate: float = 0.0,
+    max_retries: int = 4,
+) -> SweepTiming:
+    """Sweep timing of a degraded array running resilient execution.
+
+    Composes :func:`sweep_timing` on the post-quarantine unit count with
+    the retry inflation of :func:`expected_attempts`: retried variables
+    re-enter the schedule, stretching compute (and their memory refetch)
+    by the expected attempt count.
+    """
+    remaining = degraded_units(array, quarantined, spare_units)
+    effective = ArrayConfig(
+        units=remaining,
+        frequency_hz=array.frequency_hz,
+        memory_bandwidth_bytes=array.memory_bandwidth_bytes,
+        bytes_per_variable=array.bytes_per_variable,
+    )
+    base = sweep_timing(height, width, labels, effective, config)
+    attempts = expected_attempts(transient_rate, max_retries)
+    compute = math.ceil(base.compute_cycles * attempts)
+    memory = math.ceil(base.memory_cycles * attempts)
+    total = max(compute, memory)
+    # Retries are wasted slots: useful work stays what the clean sweep
+    # needed, so utilization falls as cycles inflate.
+    utilization = min(1.0, base.utilization * base.total_cycles / total)
+    return SweepTiming(
+        compute_cycles=compute,
+        memory_cycles=memory,
+        total_cycles=total,
+        utilization=utilization,
+        bottleneck="memory" if memory > compute else "compute",
+    )
+
+
 def size_array_for_rate(
     height: int,
     width: int,

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Tuple, Union
 
+import numpy as np
+
 from repro.core.distance import DISTANCE_KINDS
 from repro.util.errors import ConfigError, DataError
 
@@ -140,44 +142,71 @@ def encode_stream(commands: Iterable[Command]) -> List[int]:
 
 
 def decode_stream(words: Iterable[int]) -> List[Command]:
-    """Decode a word stream back into commands (inverse of encode)."""
+    """Decode a word stream back into commands (inverse of encode).
+
+    Malformed input — a value that is not a 32-bit word, an unknown
+    opcode, a truncated two-word command, or field contents that fail
+    the command's own validation (e.g. a corrupted CONFIGURE with an
+    out-of-range label count) — raises :class:`DataError` carrying the
+    word index and byte offset of the offending word, so wire-corruption
+    faults are catchable and diagnosable at the transfer boundary.
+    """
     iterator = iter(words)
     commands: List[Command] = []
+    offset = 0
+
+    def malformed(detail: str) -> DataError:
+        return DataError(
+            f"malformed command stream at word {offset} (byte {offset * 4}): {detail}"
+        )
+
     for word in iterator:
+        if not isinstance(word, (int, np.integer)):
+            raise malformed(f"expected an integer word, got {type(word).__name__}")
         if not 0 <= word <= _WORD_MASK:
-            raise DataError(f"word {word!r} does not fit 32 bits")
+            raise malformed(f"word {word!r} does not fit 32 bits")
         opcode = word >> 28
-        if opcode == OP_CONFIGURE:
-            commands.append(
-                Configure(
-                    distance=_DISTANCE_FROM_CODE[(word >> 26) & 0x3],
-                    singleton_weight=(word >> 20) & 0x3F,
-                    doubleton_weight=(word >> 14) & 0x3F,
-                    n_labels=(word >> 7) & 0x7F,
-                    output_shift=(word >> 3) & 0xF,
+        try:
+            if opcode == OP_CONFIGURE:
+                commands.append(
+                    Configure(
+                        distance=_DISTANCE_FROM_CODE[(word >> 26) & 0x3],
+                        singleton_weight=(word >> 20) & 0x3F,
+                        doubleton_weight=(word >> 14) & 0x3F,
+                        n_labels=(word >> 7) & 0x7F,
+                        output_shift=(word >> 3) & 0xF,
+                    )
                 )
-            )
-        elif opcode == OP_SET_TEMPERATURE:
-            commands.append(
-                SetTemperature(index=(word >> 20) & 0xFF, payload=(word >> 12) & 0xFF)
-            )
-        elif opcode == OP_EVALUATE:
-            try:
-                word1 = next(iterator)
-            except StopIteration:
-                raise DataError("truncated EVALUATE: missing second word")
-            neighbors = tuple(
-                (word1 >> (6 * position)) & NEIGHBOR_FIELD_MASK for position in range(4)
-            )
-            commands.append(
-                Evaluate(
-                    site=word & 0x0FFFFFFF,
-                    neighbors=neighbors,
-                    valid_mask=(word1 >> 24) & 0xF,
+            elif opcode == OP_SET_TEMPERATURE:
+                commands.append(
+                    SetTemperature(
+                        index=(word >> 20) & 0xFF, payload=(word >> 12) & 0xFF
+                    )
                 )
-            )
-        elif opcode == OP_READ_STATUS:
-            commands.append(ReadStatus())
-        else:
-            raise DataError(f"unknown opcode {opcode} in word {word:#010x}")
+            elif opcode == OP_EVALUATE:
+                try:
+                    word1 = next(iterator)
+                except StopIteration:
+                    raise malformed("truncated EVALUATE: missing second word")
+                offset += 1
+                if not isinstance(word1, (int, np.integer)) or not 0 <= word1 <= _WORD_MASK:
+                    raise malformed(f"word {word1!r} does not fit 32 bits")
+                neighbors = tuple(
+                    (word1 >> (6 * position)) & NEIGHBOR_FIELD_MASK
+                    for position in range(4)
+                )
+                commands.append(
+                    Evaluate(
+                        site=word & 0x0FFFFFFF,
+                        neighbors=neighbors,
+                        valid_mask=(word1 >> 24) & 0xF,
+                    )
+                )
+            elif opcode == OP_READ_STATUS:
+                commands.append(ReadStatus())
+            else:
+                raise malformed(f"unknown opcode {opcode} in word {word:#010x}")
+        except (ConfigError, KeyError) as exc:
+            raise malformed(f"invalid field contents: {exc}") from exc
+        offset += 1
     return commands

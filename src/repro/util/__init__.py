@@ -1,6 +1,13 @@
 """Shared low-level utilities: quantization, validation, and errors."""
 
-from repro.util.errors import ConfigError, DataError, ReproError
+from repro.util.errors import (
+    ConfigError,
+    DataError,
+    FaultError,
+    ReproError,
+    TransientFaultError,
+    UnrecoverableFaultError,
+)
 from repro.util.quantize import (
     clamp,
     nearest_pow2,
@@ -10,6 +17,7 @@ from repro.util.quantize import (
     unsigned_max,
 )
 from repro.util.validation import (
+    check_finite,
     check_in_range,
     check_positive,
     check_probability,
@@ -19,13 +27,17 @@ from repro.util.validation import (
 __all__ = [
     "ConfigError",
     "DataError",
+    "FaultError",
     "ReproError",
+    "TransientFaultError",
+    "UnrecoverableFaultError",
     "clamp",
     "nearest_pow2",
     "pow2_floor",
     "quantize_to_bits",
     "quantize_unsigned",
     "unsigned_max",
+    "check_finite",
     "check_in_range",
     "check_positive",
     "check_probability",

@@ -15,3 +15,15 @@ class ConfigError(ReproError, ValueError):
 
 class DataError(ReproError, ValueError):
     """A dataset or input array does not satisfy a required contract."""
+
+
+class FaultError(ReproError, RuntimeError):
+    """An injected or detected hardware fault surfaced to the caller."""
+
+
+class TransientFaultError(FaultError):
+    """A fault that may clear on retry (e.g. a unit dropped one sample)."""
+
+
+class UnrecoverableFaultError(FaultError):
+    """The device cannot make progress: retries and spares are exhausted."""

@@ -7,6 +7,12 @@ import numpy as np
 from repro.util.errors import ConfigError, DataError
 
 
+def check_finite(name: str, value: float) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is a finite number."""
+    if not np.isfinite(value):
+        raise ConfigError(f"{name} must be finite, got {value!r}")
+
+
 def check_positive(name: str, value: float) -> None:
     """Raise :class:`ConfigError` unless ``value`` is strictly positive."""
     if not value > 0:

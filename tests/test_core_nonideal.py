@@ -39,6 +39,22 @@ class TestDarkCounts:
         with pytest.raises(ConfigError):
             dark_count_probability_per_window(NEW, -1.0)
 
+    def test_zero_rate_is_exactly_zero(self):
+        assert dark_count_probability_per_window(NEW, 0.0) == 0.0
+
+    def test_window_longer_than_mean_interarrival_saturates(self):
+        # rate * window >> 1: the window almost surely contains a dark
+        # count, but the probability stays a probability.
+        prob = dark_count_probability_per_window(NEW, 1e9, frequency_hz=1.0)
+        assert 0.99 < prob <= 1.0
+
+    def test_rejects_nan_and_inf(self):
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(ConfigError):
+                dark_count_probability_per_window(NEW, bad)
+            with pytest.raises(ConfigError):
+                dark_count_probability_per_window(NEW, 1e3, frequency_hz=bad)
+
 
 class TestResidualExcitation:
     def test_geometric_decay(self):
@@ -57,6 +73,18 @@ class TestResidualExcitation:
     def test_rejects_zero_rest(self):
         with pytest.raises(ConfigError):
             residual_excitation_probability(NEW, 0)
+
+    def test_residual_exactly_at_budget_boundary_passes(self):
+        from repro.core.pipeline import RESIDUAL_BUDGET
+
+        # One rest window at truncation == budget lands the residual
+        # exactly on the 0.4% boundary, which the design accepts.
+        config = NEW.with_(truncation=RESIDUAL_BUDGET)
+        assert residual_excitation_probability(config, 1) == RESIDUAL_BUDGET
+        assert meets_residual_budget(config, 1)
+        # A rate just beyond the comparison tolerance is rejected.
+        above = NEW.with_(truncation=RESIDUAL_BUDGET + 1e-9)
+        assert not meets_residual_budget(above, 1)
 
 
 class TestNoisyTTFSampler:

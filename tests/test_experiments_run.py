@@ -35,7 +35,7 @@ class TestRegistry:
         expected = (
             {f"fig{i}" for i in range(3, 10)}
             | {f"table{i}" for i in range(1, 5)}
-            | {"quality_vs_time", "ablations", "energy_bits"}
+            | {"quality_vs_time", "ablations", "energy_bits", "robustness"}
         )
         assert set(experiment_ids()) == expected
 

@@ -1,0 +1,282 @@
+"""Unit tests for the fault models, faulty device, and health checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import new_design_config
+from repro.core.ttf import TTFSampler, no_sample_bin
+from repro.faults import (
+    EntropyFault,
+    FaultPlan,
+    FaultyBitSource,
+    FaultyRSUDevice,
+    FaultySPADSampler,
+    IncidentLog,
+    SPADFault,
+    UnitArrayFault,
+    UnitNack,
+    WireChannel,
+    WireFault,
+    chi_square_goodness,
+    chi_square_two_sample,
+    ks_distance,
+    ks_pvalue,
+    label_counts,
+)
+from repro.isa.commands import Configure, Evaluate, SetTemperature
+from repro.isa.device import RSUDevice
+from repro.rng.streams import NumpyBitSource
+from repro.util import ConfigError, DataError, UnrecoverableFaultError
+
+NEW = new_design_config()
+
+
+class TestEntropyFault:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EntropyFault(stuck_mask=1 << 19, word_bits=19)  # outside the word
+        with pytest.raises(ConfigError):
+            EntropyFault(stuck_mask=0b01, stuck_value=0b10)  # value off-mask
+        with pytest.raises(ConfigError):
+            EntropyFault(word_bits=0)
+
+    def test_null_fault_passes_floats_through(self):
+        source = NumpyBitSource(np.random.default_rng(3))
+        faulty = FaultyBitSource(NumpyBitSource(np.random.default_rng(3)), EntropyFault())
+        assert np.array_equal(source.uniforms(100), faulty.uniforms(100))
+
+    def test_stuck_msb_halves_the_range(self):
+        msb = 1 << 18
+        fault = EntropyFault(stuck_mask=msb, stuck_value=msb, word_bits=19)
+        faulty = FaultyBitSource(NumpyBitSource(np.random.default_rng(5)), fault)
+        u = faulty.uniforms(2000)
+        assert np.all(u >= 0.5)  # the top bit is forced on
+        fault_low = EntropyFault(stuck_mask=msb, stuck_value=0, word_bits=19)
+        faulty_low = FaultyBitSource(NumpyBitSource(np.random.default_rng(5)), fault_low)
+        assert np.all(faulty_low.uniforms(2000) < 0.5)
+
+
+class TestSPADFault:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SPADFault(dead_prob=1.5)
+        with pytest.raises(ConfigError):
+            SPADFault(jitter_bins=-1)
+
+    def test_null_fault_bit_identical(self):
+        codes = np.full((2000, 3), 4)
+        clean = TTFSampler(NEW, np.random.default_rng(3)).sample(codes)
+        faulty = FaultySPADSampler(NEW, np.random.default_rng(3), SPADFault()).sample(codes)
+        assert np.array_equal(clean, faulty)
+
+    def test_fully_dead_detector_never_samples(self):
+        codes = np.full((200, 2), 4)
+        sampler = FaultySPADSampler(NEW, np.random.default_rng(3), SPADFault(dead_prob=1.0))
+        assert np.all(sampler.sample(codes) == no_sample_bin(NEW))
+
+    def test_hot_pixels_shorten_ttf(self):
+        codes = np.full((20_000, 1), 1)
+        clean = TTFSampler(NEW, np.random.default_rng(5)).sample(codes)
+        hot = FaultySPADSampler(
+            NEW, np.random.default_rng(5), SPADFault(hot_prob=0.5, seed=1)
+        ).sample(codes)
+        assert hot.mean() < clean.mean()
+        assert np.all(hot <= clean)
+
+    def test_jitter_stays_inside_window(self):
+        codes = np.full((5000, 2), 8)
+        jittered = FaultySPADSampler(
+            NEW, np.random.default_rng(7), SPADFault(jitter_bins=4, seed=2)
+        ).sample(codes)
+        genuine = jittered <= NEW.time_bins
+        assert np.all(jittered[genuine] >= 1)
+
+    def test_fault_schedule_is_seeded_separately(self):
+        codes = np.full((500, 2), 4)
+        fault = SPADFault(dead_prob=0.2, seed=11)
+        a = FaultySPADSampler(NEW, np.random.default_rng(3), fault).sample(codes)
+        b = FaultySPADSampler(NEW, np.random.default_rng(3), fault).sample(codes)
+        assert np.array_equal(a, b)
+
+
+class TestWireChannel:
+    def test_null_fault_is_identity(self):
+        channel = WireChannel(WireFault())
+        words = [1, 2, 3]
+        delivered, flips, drops = channel.transmit(words)
+        assert delivered == words and flips == 0 and drops == 0
+
+    def test_certain_flip_changes_exactly_one_bit(self):
+        channel = WireChannel(WireFault(flip_rate=1.0, seed=3))
+        words = [0x12345678] * 50
+        delivered, flips, drops = channel.transmit(words)
+        assert flips == 50 and drops == 0
+        for sent, got in zip(words, delivered):
+            assert bin(sent ^ got).count("1") == 1
+
+    def test_certain_drop_loses_everything(self):
+        channel = WireChannel(WireFault(drop_rate=1.0, seed=3))
+        delivered, flips, drops = channel.transmit([1, 2, 3])
+        assert delivered == [] and drops == 3
+        assert channel.words_dropped == 3
+
+    def test_same_seed_same_corruption(self):
+        words = list(range(200))
+        a = WireChannel(WireFault(flip_rate=0.1, drop_rate=0.05, seed=9))
+        b = WireChannel(WireFault(flip_rate=0.1, drop_rate=0.05, seed=9))
+        assert a.transmit(words) == b.transmit(words)
+
+
+class TestUnitArrayFault:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            UnitArrayFault(n_units=0)
+        with pytest.raises(ConfigError):
+            UnitArrayFault(n_units=2, spare_units=0, dead_units=(5,))
+        with pytest.raises(ConfigError):
+            UnitArrayFault(stuck_units=((0, 1), (0, 2)))  # duplicate unit
+
+    def test_plan_nullness(self):
+        assert FaultPlan.none().is_null
+        assert FaultPlan(units=UnitArrayFault()).is_null
+        assert not FaultPlan(units=UnitArrayFault(transient_rate=0.1)).is_null
+        assert not FaultPlan(wire=WireFault(flip_rate=0.5)).is_null
+
+
+def _configured_device(plan, seed=3, n_sites=8, m=4):
+    device = FaultyRSUDevice(NEW, np.random.default_rng(seed), plan=plan)
+    device.load_unary(np.zeros((n_sites, m), dtype=int))
+    device.execute([Configure("binary", 1, 1, m)])
+    device.execute([SetTemperature(i, 200) for i in range(4)])
+    return device
+
+
+class TestFaultyDevice:
+    def test_null_plan_bit_identical_to_plain_device(self):
+        plain = RSUDevice(NEW, np.random.default_rng(3))
+        plain.load_unary(np.zeros((8, 4), dtype=int))
+        plain.execute([Configure("binary", 1, 1, 4)])
+        plain.execute([SetTemperature(i, 200) for i in range(4)])
+        faulty = _configured_device(FaultPlan.none())
+        evals = [Evaluate(i % 8, (0, 0, 0, 0), 0) for i in range(64)]
+        assert plain.execute(list(evals)) == faulty.execute(list(evals))
+
+    def test_dead_unit_nacks(self):
+        plan = FaultPlan(units=UnitArrayFault(n_units=2, spare_units=1, dead_units=(1,)))
+        device = _configured_device(plan)
+        responses = device.execute([Evaluate(0, (0, 0, 0, 0), 0) for _ in range(4)])
+        nacks = [r for r in responses if isinstance(r, UnitNack)]
+        assert len(nacks) == 2  # round-robin: every other eval hits unit 1
+        assert all(n.unit == 1 and n.kind == "dead" for n in nacks)
+        assert device.nack_counts == {"dead": 2}
+
+    def test_stuck_unit_always_reports_its_label(self):
+        plan = FaultPlan(units=UnitArrayFault(n_units=2, spare_units=0, stuck_units=((0, 3),)))
+        device = _configured_device(plan)
+        responses = device.execute([Evaluate(0, (0, 0, 0, 0), 0) for _ in range(20)])
+        from_stuck = responses[0::2]  # unit 0 serves even slots
+        assert all(r == 3 for r in from_stuck)
+
+    def test_quarantine_remaps_to_spare(self):
+        plan = FaultPlan(units=UnitArrayFault(n_units=2, spare_units=1, dead_units=(1,)))
+        device = _configured_device(plan)
+        spare = device.quarantine_unit(1)
+        assert spare == 2
+        assert device.active_units == [0, 2]
+        assert device.quarantined_units == [1]
+        assert device.spares_remaining == 0
+        responses = device.execute([Evaluate(0, (0, 0, 0, 0), 0) for _ in range(4)])
+        assert not any(isinstance(r, UnitNack) for r in responses)
+
+    def test_quarantine_errors(self):
+        plan = FaultPlan(units=UnitArrayFault(n_units=2, spare_units=1))
+        device = _configured_device(plan)
+        with pytest.raises(ConfigError):
+            device.quarantine_unit(7)
+        device.quarantine_unit(0)
+        with pytest.raises(UnrecoverableFaultError):
+            device.quarantine_unit(1)
+
+    def test_unit_trace_records_striping(self):
+        plan = FaultPlan(units=UnitArrayFault(n_units=3, spare_units=0))
+        device = _configured_device(plan)
+        device.execute([Evaluate(0, (0, 0, 0, 0), 0) for _ in range(7)])
+        assert device.unit_trace == [0, 1, 2, 0, 1, 2, 0]
+
+
+class TestHealthChecks:
+    def test_goodness_accepts_matching_counts(self):
+        probs = np.array([0.25, 0.25, 0.25, 0.25])
+        counts = np.array([250, 260, 240, 250])
+        assert chi_square_goodness(counts, probs) > 0.1
+
+    def test_goodness_rejects_stuck_counts(self):
+        probs = np.array([0.25, 0.25, 0.25, 0.25])
+        stuck = np.array([1000, 0, 0, 0])
+        assert chi_square_goodness(stuck, probs) < 1e-10
+
+    def test_goodness_zero_probability_bin_is_fatal(self):
+        probs = np.array([0.5, 0.5, 0.0])
+        counts = np.array([10, 10, 1])
+        assert chi_square_goodness(counts, probs) == 0.0
+
+    def test_goodness_validation(self):
+        with pytest.raises(ConfigError):
+            chi_square_goodness(np.array([0, 0]), np.array([0.5, 0.5]))
+        with pytest.raises(ConfigError):
+            chi_square_goodness(np.array([1, 2, 3]), np.array([0.5, 0.5]))
+
+    def test_two_sample_same_distribution(self):
+        rng = np.random.default_rng(3)
+        a = np.bincount(rng.integers(0, 4, 2000), minlength=4)
+        b = np.bincount(rng.integers(0, 4, 2000), minlength=4)
+        assert chi_square_two_sample(a, b) > 1e-3
+
+    def test_two_sample_detects_divergence(self):
+        a = np.array([500, 0, 0, 0])
+        b = np.array([500, 500, 500, 500])
+        assert chi_square_two_sample(a, b) < 1e-10
+
+    def test_ks_distance_matches_exact_cdf(self):
+        probs = np.array([0.5, 0.3, 0.2])
+        samples = [1] * 50 + [2] * 30 + [3] * 20
+        assert ks_distance(samples, probs) == pytest.approx(0.0)
+        assert ks_pvalue(samples, probs) > 0.99
+
+    def test_ks_flags_shifted_samples(self):
+        probs = np.array([0.5, 0.3, 0.2])
+        samples = [3] * 100
+        assert ks_distance(samples, probs) == pytest.approx(0.8)
+        assert ks_pvalue(samples, probs) < 1e-6
+
+    def test_label_counts_validation(self):
+        assert np.array_equal(label_counts([0, 1, 1], 3), [1, 2, 0])
+        with pytest.raises(DataError):
+            label_counts([5], 3)
+
+
+class TestIncidentLog:
+    def test_records_are_ordered_and_typed(self):
+        log = IncidentLog()
+        log.record(0, "unit_nack", "warning", unit=2, site=5, attempt=0)
+        log.record(1, "quarantine", "error", unit=2, reason="probe")
+        assert len(log) == 2
+        assert log[0].seq == 0 and log[1].seq == 1
+        assert log.counts_by_kind() == {"quarantine": 1, "unit_nack": 1}
+        assert log.worst_severity() == "error"
+        assert len(log.of_kind("unit_nack")) == 1
+
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            IncidentLog().record(0, "oops", "catastrophic")
+
+    def test_jsonl_is_deterministic(self):
+        def build():
+            log = IncidentLog()
+            log.record(0, "transfer_corrupt", "warning", attempt=1, backoff_s=2e-4, drops=1)
+            log.record(3, "fallback", "error", reason="spares exhausted")
+            return log.to_jsonl()
+
+        first, second = build(), build()
+        assert first == second
+        assert '"severity":"error"' in first

@@ -78,3 +78,46 @@ class TestArraySizing:
     def test_validation(self):
         with pytest.raises(ConfigError):
             size_array_for_rate(10, 10, 5, 10, target_seconds=0.0)
+
+
+class TestDegradedTiming:
+    def test_expected_attempts(self):
+        from repro.hw.system import expected_attempts
+
+        assert expected_attempts(0.0, 4) == 1.0
+        assert expected_attempts(0.5, 1) == pytest.approx(1.5)
+        assert expected_attempts(0.1, 4) < expected_attempts(0.2, 4)
+        with pytest.raises(ConfigError):
+            expected_attempts(1.0, 4)
+        with pytest.raises(ConfigError):
+            expected_attempts(0.1, -1)
+
+    def test_degraded_units_spares_absorb_quarantines(self):
+        from repro.hw.system import degraded_units
+
+        array = ArrayConfig(units=8)
+        assert degraded_units(array, quarantined=0) == 8
+        assert degraded_units(array, quarantined=2, spare_units=2) == 8
+        assert degraded_units(array, quarantined=3, spare_units=2) == 7
+        with pytest.raises(ConfigError):
+            degraded_units(array, quarantined=10, spare_units=2)
+
+    def test_zero_fault_matches_healthy_timing(self):
+        from repro.hw.system import degraded_sweep_timing
+
+        healthy = sweep_timing(320, 320, 10, ArrayConfig(units=16))
+        degraded = degraded_sweep_timing(320, 320, 10, ArrayConfig(units=16))
+        assert degraded == healthy
+
+    def test_faults_cost_cycles(self):
+        from repro.hw.system import degraded_sweep_timing
+
+        array = ArrayConfig(units=16)
+        healthy = degraded_sweep_timing(320, 320, 10, array)
+        retried = degraded_sweep_timing(320, 320, 10, array, transient_rate=0.05)
+        shrunk = degraded_sweep_timing(
+            320, 320, 10, array, quarantined=5, spare_units=1
+        )
+        assert retried.total_cycles > healthy.total_cycles
+        assert shrunk.total_cycles > healthy.total_cycles
+        assert retried.utilization <= healthy.utilization

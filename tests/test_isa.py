@@ -64,6 +64,39 @@ class TestEncoding:
         with pytest.raises(DataError):
             decode_stream([0xF0000000])
 
+    def test_malformed_word_reports_byte_offset(self):
+        good = encode_stream([SetTemperature(0, 1), SetTemperature(1, 2)])
+        with pytest.raises(DataError, match=r"word 2 \(byte 8\)"):
+            decode_stream(good + [0xF0000000])
+
+    def test_truncated_evaluate_reports_offset_of_missing_word(self):
+        words = encode_stream([SetTemperature(0, 1), Evaluate(5, (1, 2, 3, 4), 0xF)])
+        with pytest.raises(DataError, match=r"word 1 \(byte 4\).*truncated"):
+            decode_stream(words[:2])
+
+    def test_non_integer_word_rejected(self):
+        with pytest.raises(DataError, match="integer word"):
+            decode_stream(["0x10000000"])
+
+    def test_out_of_range_word_rejected(self):
+        with pytest.raises(DataError, match="32 bits"):
+            decode_stream([1 << 32])
+        with pytest.raises(DataError, match="32 bits"):
+            decode_stream([-1])
+
+    def test_corrupted_field_contents_rejected(self):
+        # CONFIGURE with a zero label count: structurally a valid word,
+        # but the command's own validation must reject it with the
+        # stream offset attached.
+        word = (1 << 28) | (0 << 26) | (1 << 20) | (1 << 14) | (0 << 7)
+        with pytest.raises(DataError, match=r"word 0 \(byte 0\).*field"):
+            decode_stream([word])
+
+    def test_numpy_integer_words_accepted(self):
+        commands = [Evaluate(7, (1, 0, 2, 0), 0b0101), ReadStatus()]
+        words = np.array(encode_stream(commands), dtype=np.uint32)
+        assert decode_stream(words) == commands
+
     def test_command_validation(self):
         with pytest.raises(ConfigError):
             Configure("cosine", 1, 1, 4)
