@@ -1,0 +1,194 @@
+"""Perf baseline harness: experiment engine + λ-LUT fast path timings.
+
+Times the hot paths this repo optimizes — registry experiments through
+the parallel/cached execution engine and stereo solves with the
+memoized λ-conversion LUT on/off — and emits ``BENCH_perf.json`` at the
+repo root so later PRs have a trajectory to beat.
+
+Three lanes:
+
+* ``registry_engine`` — the multi-design-point ablations experiment run
+  (a) sequentially with no cache (the pre-engine behaviour), (b) with
+  ``jobs=4`` and a cold content-addressed cache, and (c) again with the
+  warm cache.  The headline speedup compares the sequential uncached
+  baseline against the best engine run; on multi-core hosts the cold
+  lane shows the shard-pool win, on single-core CI the warm lane shows
+  the cache win.  ``cpu_count`` is recorded so the numbers read honestly.
+* ``sweep_engine`` — the CLI sweep path, same lanes.
+* ``lambda_lut`` — one full stereo solve with the conversion LUT
+  disabled (per-site ``np.exp``) vs enabled (integer table gather).
+
+Every lane asserts byte-identical results across its variants before
+recording a time.  Run directly (``python benchmarks/test_bench_perf.py``)
+or through pytest; ``BENCH_PERF_PROFILE=tiny`` shrinks the workload for
+CI smoke lanes.
+
+Not collected by the tier-1 suite (pytest ``testpaths`` is ``tests``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.stereo import StereoParams, solve_stereo
+from repro.core.convert import use_lut
+from repro.core.params import new_design_config
+from repro.data.stereo_data import load_stereo
+from repro.experiments import QUICK
+from repro.experiments.ablations import run as run_ablations
+from repro.experiments.engine import ExperimentEngine, use_engine
+from repro.experiments.sweep import run_sweep
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_perf.json"
+
+#: Workload profiles: "small" for a meaningful local baseline, "tiny"
+#: for the CI perf-smoke lane (set BENCH_PERF_PROFILE=tiny).
+PROFILES = {
+    "small": QUICK.with_(
+        sweep_scale=0.5, sweep_iterations=150,
+        stereo_scale=1.0, stereo_iterations=200,
+    ),
+    "tiny": QUICK.with_(
+        sweep_scale=0.12, sweep_iterations=8,
+        stereo_scale=0.2, stereo_iterations=20,
+    ),
+}
+
+PARALLEL_JOBS = 4
+
+
+def _timed(func):
+    """(wall seconds, result) of one call."""
+    started = time.perf_counter()
+    result = func()
+    return time.perf_counter() - started, result
+
+
+def _engine_lanes(run, cache_dir):
+    """Time ``run`` under jobs=1/no-cache, jobs=4/cold, jobs=4/warm.
+
+    Asserts all three runs produce byte-identical experiment payloads.
+    """
+    seq_engine = ExperimentEngine(jobs=1, use_cache=False)
+    with use_engine(seq_engine):
+        seq_s, baseline = _timed(run)
+
+    cold_engine = ExperimentEngine(jobs=PARALLEL_JOBS, cache_dir=cache_dir, use_cache=True)
+    with use_engine(cold_engine):
+        cold_s, cold = _timed(run)
+
+    warm_engine = ExperimentEngine(jobs=PARALLEL_JOBS, cache_dir=cache_dir, use_cache=True)
+    with use_engine(warm_engine):
+        warm_s, warm = _timed(run)
+
+    assert cold.to_json() == baseline.to_json(), "parallel run diverged from sequential"
+    assert warm.to_json() == baseline.to_json(), "cached run diverged from sequential"
+    assert warm_engine.stats.cache_hits == warm_engine.stats.tasks
+
+    best_engine_s = min(cold_s, warm_s)
+    return {
+        "design_points": cold_engine.stats.tasks,
+        "jobs1_nocache_s": round(seq_s, 4),
+        f"jobs{PARALLEL_JOBS}_cold_cache_s": round(cold_s, 4),
+        f"jobs{PARALLEL_JOBS}_warm_cache_s": round(warm_s, 4),
+        f"speedup_jobs{PARALLEL_JOBS}_vs_jobs1": round(seq_s / best_engine_s, 2),
+        "results_byte_identical": True,
+    }
+
+
+def bench_registry_engine(profile):
+    """Ablations (6 design points) through the engine lanes."""
+    with tempfile.TemporaryDirectory() as cache_dir:
+        lanes = _engine_lanes(
+            lambda: run_ablations(profile=profile, seed=3), cache_dir
+        )
+    lanes["experiment"] = "ablations"
+    return lanes
+
+
+def bench_sweep_engine(profile):
+    """CLI-style time_bits sweep through the engine lanes."""
+    values = [3, 4, 5, 6, 7, 8]
+    with tempfile.TemporaryDirectory() as cache_dir:
+        lanes = _engine_lanes(
+            lambda: run_sweep("time_bits", values, app="stereo",
+                              profile=profile, seed=3),
+            cache_dir,
+        )
+    lanes["experiment"] = f"sweep:time_bits:stereo x{len(values)}"
+    return lanes
+
+
+def bench_lambda_lut(profile):
+    """One full stereo solve: direct per-site exp vs memoized LUT gather."""
+    dataset = load_stereo("poster", scale=profile.stereo_scale)
+    params = StereoParams(iterations=profile.stereo_iterations)
+    config = new_design_config()
+
+    def solve():
+        return solve_stereo(dataset, "rsu", params, rsu_config=config, seed=3)
+
+    with use_lut(False):
+        direct_s, direct = _timed(solve)
+    with use_lut(True):
+        lut_s, lut = _timed(solve)
+
+    assert np.array_equal(direct.disparity, lut.disparity), "LUT path diverged"
+    assert direct.bad_pixel == lut.bad_pixel
+    return {
+        "solve": f"stereo poster scale={profile.stereo_scale} "
+                 f"iters={profile.stereo_iterations}",
+        "direct_exp_s": round(direct_s, 4),
+        "lut_s": round(lut_s, 4),
+        "speedup_lut_vs_direct": round(direct_s / lut_s, 2),
+        "results_byte_identical": True,
+    }
+
+
+def run_perf_baseline(profile_name: str = None) -> dict:
+    """Run every lane and write ``BENCH_perf.json``; returns the payload."""
+    profile_name = profile_name or os.environ.get("BENCH_PERF_PROFILE", "small")
+    profile = PROFILES[profile_name]
+    payload = {
+        "schema": 1,
+        "profile": profile_name,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "parallel_jobs": PARALLEL_JOBS,
+        "note": (
+            "speedup_jobs4_vs_jobs1 compares the sequential uncached baseline "
+            "against the best engine run (cold parallel or warm cache); on a "
+            "single-core host the win comes from the content-addressed result "
+            "cache, on multi-core hosts additionally from the process pool. "
+            "All lanes assert byte-identical results first."
+        ),
+        "registry_engine": bench_registry_engine(profile),
+        "sweep_engine": bench_sweep_engine(profile),
+        "lambda_lut": bench_lambda_lut(profile),
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_perf_baseline():
+    """The perf-smoke gate: lanes run, agree bit-for-bit, JSON lands."""
+    payload = run_perf_baseline()
+    assert OUTPUT_PATH.exists()
+    assert payload["registry_engine"]["results_byte_identical"]
+    assert payload["sweep_engine"]["results_byte_identical"]
+    assert payload["lambda_lut"]["results_byte_identical"]
+    assert payload["lambda_lut"]["speedup_lut_vs_direct"] > 0
+
+
+if __name__ == "__main__":
+    result = run_perf_baseline(sys.argv[1] if len(sys.argv) > 1 else None)
+    print(json.dumps(result, indent=2))

@@ -24,10 +24,15 @@ from repro.core.base import SamplerBackend, select_first_to_fire
 from repro.core.cdf_sampler import CDFSampler
 from repro.core.convert import (
     boundary_table,
+    conversion_lut,
     conversion_memory_bits,
     lambda_codes,
     lambda_codes_by_boundaries,
+    lambda_codes_lut,
     legacy_lut,
+    lut_enabled,
+    set_lut_enabled,
+    use_lut,
 )
 from repro.core.distance import (
     DISTANCE_KINDS,
@@ -76,10 +81,15 @@ __all__ = [
     "select_first_to_fire",
     "CDFSampler",
     "boundary_table",
+    "conversion_lut",
     "conversion_memory_bits",
     "lambda_codes",
     "lambda_codes_by_boundaries",
+    "lambda_codes_lut",
     "legacy_lut",
+    "lut_enabled",
+    "set_lut_enabled",
+    "use_lut",
     "DISTANCE_KINDS",
     "get_distance",
     "label_distance_matrix",

@@ -13,11 +13,24 @@ code space, with the three techniques the new design introduces:
 Two hardware realizations are modeled: the LUT indexed by energy (the
 previous design) and the comparison-against-boundaries scheme of
 Sec. IV-B.3.  Both must produce identical codes; tests assert this.
+
+A third, software-side fast path mirrors the LUT observation: quantized
+energies take at most ``2**Energy_bits`` distinct values, so the whole
+per-(temperature, config) conversion collapses to one integer table
+(:func:`conversion_lut`) built with a few hundred ``exp`` calls instead
+of one per (site, label).  :func:`lambda_codes_lut` performs the gather;
+it is bit-identical to :func:`lambda_codes` by construction (the table
+entries are computed by the very same formula) and is the default hot
+path of :meth:`repro.core.rsu.RSUGSampler.codes_for`.  Disable it
+globally with :func:`set_lut_enabled` or lexically with :func:`use_lut`
+(the perf benchmark does this to time both paths).
 """
 
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
+from functools import lru_cache
 from typing import List
 
 import numpy as np
@@ -71,6 +84,82 @@ def lambda_codes(
     return codes
 
 
+#: Global switch for the memoized-LUT conversion fast path.
+_LUT_ENABLED = True
+
+
+def lut_enabled() -> bool:
+    """Whether samplers should take the memoized-LUT conversion path."""
+    return _LUT_ENABLED
+
+
+def set_lut_enabled(enabled: bool) -> bool:
+    """Set the global LUT switch; returns the previous value."""
+    global _LUT_ENABLED
+    previous = _LUT_ENABLED
+    _LUT_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_lut(enabled: bool):
+    """Scope the LUT switch to a ``with`` block (benchmarks A/B with this)."""
+    previous = set_lut_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_lut_enabled(previous)
+
+
+@lru_cache(maxsize=4096)
+def _conversion_lut(temperature: float, config: RSUConfig) -> np.ndarray:
+    energies = np.arange(unsigned_max(config.energy_bits) + 1, dtype=np.float64)
+    # Scaling is a per-row index shift applied by the caller, so the
+    # table itself is always the unscaled conversion of each energy.
+    table = lambda_codes(energies[None, :], temperature, config.with_(scaling=False))[0]
+    table.setflags(write=False)
+    return table
+
+
+def conversion_lut(temperature: float, config: RSUConfig) -> np.ndarray:
+    """Memoized ``2**Energy_bits``-entry table: quantized energy -> code.
+
+    Entry ``e`` is exactly ``lambda_codes([[e]], temperature, config)``
+    without the scaling shift (which :func:`lambda_codes_lut` applies to
+    the lookup index instead, Eq. 4 being a pure index translation on
+    the integer energy grid).  The returned array is read-only and
+    shared across calls; one annealing schedule touches one table per
+    distinct temperature instead of ``exp``-ing every (site, label).
+    """
+    if temperature <= 0:
+        raise ConfigError(f"temperature must be positive, got {temperature}")
+    return _conversion_lut(float(temperature), config)
+
+
+def lambda_codes_lut(
+    quantized_energy: np.ndarray, temperature: float, config: RSUConfig
+) -> np.ndarray:
+    """Table-lookup conversion; bit-identical to :func:`lambda_codes`.
+
+    ``quantized_energy`` must hold integers on the ``Energy_bits`` grid
+    (the contract of :meth:`repro.core.energy.EnergyStage.quantize`).
+    """
+    energy = np.asarray(quantized_energy)
+    if energy.ndim != 2:
+        raise ConfigError(f"quantized_energy must be 2-D, got shape {energy.shape}")
+    table = conversion_lut(temperature, config)
+    index = energy.astype(np.int64, copy=False)
+    if not np.issubdtype(energy.dtype, np.integer) and not np.array_equal(index, energy):
+        raise ConfigError("lambda_codes_lut requires integer quantized energies")
+    if config.scaling:
+        index = index - index.min(axis=1, keepdims=True)
+    if index.size and (index.min() < 0 or index.max() >= table.size):
+        raise ConfigError(
+            f"quantized energies out of the {config.energy_bits}-bit grid"
+        )
+    return table[index]
+
+
 def boundary_table(temperature: float, config: RSUConfig) -> np.ndarray:
     """Energy boundaries for the comparison-based conversion.
 
@@ -122,14 +211,19 @@ def lambda_codes_by_boundaries(
         raise ConfigError(f"quantized_energy must be 2-D, got shape {energy.shape}")
     scaled = energy - energy.min(axis=1, keepdims=True)
     bounds = boundary_table(temperature, config)
-    codes = np.zeros(scaled.shape, dtype=np.int64)
-    code = config.lambda_max_code
-    for bound in bounds:
-        # Assign the largest code whose interval contains the energy.
-        mask = (codes == 0) & (scaled <= bound + 1e-12)
-        codes[mask] = code
-        code //= 2
-    return codes
+    # ``bounds`` ascends as the code halves (lambda_max down to 1), so
+    # the first boundary at or above an energy names its code; energies
+    # beyond the last boundary are cut off.  One searchsorted replaces
+    # the per-boundary masking loop; the ``+ 1e-12`` slop matches the
+    # scalar comparison ``scaled <= bound + 1e-12`` bit for bit.
+    interval = np.searchsorted(bounds + 1e-12, scaled, side="left")
+    code_of_interval = np.concatenate(
+        [
+            config.lambda_max_code >> np.arange(bounds.size, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+        ]
+    )
+    return code_of_interval[interval]
 
 
 def legacy_lut(temperature: float, config: RSUConfig) -> np.ndarray:

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import convert
 from repro.core.base import SamplerBackend, select_first_to_fire
-from repro.core.convert import lambda_codes
+from repro.core.convert import lambda_codes, lambda_codes_lut
 from repro.core.energy import EnergyStage
 from repro.core.params import RSUConfig, legacy_design_config, new_design_config
 from repro.core.ttf import TTFSampler
@@ -35,6 +36,11 @@ class RSUGSampler(SamplerBackend):
         Optional replacement for the RET-circuit stage model, e.g. a
         :class:`repro.core.nonideal.NoisyTTFSampler` for failure
         injection.  Defaults to the ideal :class:`TTFSampler`.
+    use_lut:
+        Force the memoized-LUT conversion fast path on (True) or off
+        (False) for this sampler; ``None`` (default) follows the global
+        :func:`repro.core.convert.lut_enabled` switch.  Both paths are
+        bit-identical; the knob exists so benchmarks can time them.
     """
 
     name = "rsu"
@@ -45,16 +51,21 @@ class RSUGSampler(SamplerBackend):
         energy_full_scale: float,
         rng: np.random.Generator,
         ttf_sampler: TTFSampler = None,
+        use_lut: bool = None,
     ):
         self.config = config
         self.energy_stage = EnergyStage(config.energy_bits, energy_full_scale)
         self._ttf = ttf_sampler if ttf_sampler is not None else TTFSampler(config, rng)
         self._rng = rng
+        self.use_lut = use_lut
 
     def codes_for(self, energies: np.ndarray, temperature: float) -> np.ndarray:
         """Decay-rate codes the unit would use (exposed for analysis)."""
         quantized = self.energy_stage.quantize(energies)
         t_grid = self.energy_stage.quantized_temperature(temperature)
+        lut = self.use_lut if self.use_lut is not None else convert.lut_enabled()
+        if lut:
+            return lambda_codes_lut(quantized, t_grid, self.config)
         return lambda_codes(quantized, t_grid, self.config)
 
     def _sample_batch(self, energies: np.ndarray, temperature: float) -> np.ndarray:

@@ -5,6 +5,14 @@ evaluation in minutes; ``--profile full`` runs paper-scale workloads.
 See DESIGN.md for the experiment index.
 """
 
+from repro.experiments.engine import (
+    ExperimentEngine,
+    SolveTask,
+    get_engine,
+    set_default_engine,
+    solve_task,
+    use_engine,
+)
 from repro.experiments.profiles import FULL, PROFILES, QUICK, Profile, get_profile
 from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
 from repro.experiments.result import ExperimentResult
@@ -19,4 +27,10 @@ __all__ = [
     "experiment_ids",
     "run_experiment",
     "ExperimentResult",
+    "ExperimentEngine",
+    "SolveTask",
+    "get_engine",
+    "set_default_engine",
+    "solve_task",
+    "use_engine",
 ]

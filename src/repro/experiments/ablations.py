@@ -9,11 +9,10 @@ the previous design as the baseline.
 
 from __future__ import annotations
 
-from repro.apps.stereo import solve_stereo
 from repro.core.params import RSUConfig, legacy_design_config, new_design_config
 from repro.core.pipeline import ret_circuit_replicas, ret_network_replicas
-from repro.data.stereo_data import load_stereo
 from repro.experiments.common import stereo_params
+from repro.experiments.engine import get_engine, solve_task
 from repro.experiments.profiles import FULL, Profile
 from repro.experiments.result import ExperimentResult
 
@@ -42,11 +41,16 @@ def hardware_columns(config: RSUConfig) -> tuple:
 
 def run(profile: Profile = FULL, seed: int = 3) -> ExperimentResult:
     """Run the ablation table on the poster dataset."""
-    dataset = load_stereo("poster", scale=profile.sweep_scale)
+    spec = {"name": "poster", "scale": profile.sweep_scale}
     params = stereo_params(profile, iterations=profile.sweep_iterations)
+    points = ablation_points()
+    tasks = [
+        solve_task("stereo", spec, config=config, params=params, seed=seed)
+        for config in points.values()
+    ]
+    outcomes = get_engine().run_tasks(tasks)
     rows = []
-    for name, config in ablation_points().items():
-        result = solve_stereo(dataset, "rsu", params, rsu_config=config, seed=seed)
+    for (name, config), result in zip(points.items(), outcomes):
         unique, circuits, networks = hardware_columns(config)
         rows.append([name, result.bad_pixel, unique, circuits, networks])
     return ExperimentResult(

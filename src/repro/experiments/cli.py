@@ -4,7 +4,14 @@ Usage::
 
     rsu-experiments list
     rsu-experiments run fig3 [--profile quick|full] [--seed N] [--json PATH]
-    rsu-experiments run all  [--profile quick|full]
+    rsu-experiments run all  [--profile quick|full] [--jobs N] [--no-cache]
+    rsu-experiments sweep --param time_bits --values 3,5,8 [--jobs N]
+
+``--jobs N`` dispatches the independent solves of an experiment over N
+worker processes; results are byte-identical to a sequential run.  The
+content-addressed result cache under ``--cache-dir`` (default
+``.repro_cache/``) makes re-runs and interrupted sweeps resume
+instantly; ``--no-cache`` disables it.  See docs/performance.md.
 """
 
 from __future__ import annotations
@@ -13,7 +20,23 @@ import argparse
 import sys
 import time
 
+from repro.experiments.engine import DEFAULT_CACHE_DIR, ExperimentEngine, use_engine
 from repro.experiments.registry import experiment_ids, run_experiment
+
+
+def _add_engine_options(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for independent solves (default 1: sequential)",
+    )
+    subparser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    subparser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,6 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
     runner.add_argument("--seed", type=int, default=3)
     runner.add_argument("--json", default=None, help="also write the result as JSON")
     runner.add_argument("--chart", action="store_true", help="render an ASCII chart when the result has series/heatmap data")
+    _add_engine_options(runner)
     sweeper = sub.add_parser(
         "sweep", help="solve one app across a series of design points"
     )
@@ -40,13 +64,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweeper.add_argument("--profile", default="quick", choices=("full", "quick"))
     sweeper.add_argument("--seed", type=int, default=3)
     sweeper.add_argument("--chart", action="store_true")
+    _add_engine_options(sweeper)
     reporter = sub.add_parser(
         "report", help="run every experiment and write one markdown report"
     )
     reporter.add_argument("--profile", default="quick", choices=("full", "quick"))
     reporter.add_argument("--seed", type=int, default=3)
     reporter.add_argument("-o", "--output", default="report.md")
+    _add_engine_options(reporter)
     return parser
+
+
+def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
+    return ExperimentEngine(
+        jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
+    )
 
 
 def main(argv=None) -> int:
@@ -56,21 +88,25 @@ def main(argv=None) -> int:
         for experiment_id in experiment_ids():
             print(experiment_id)
         return 0
+    engine = _engine_from_args(args)
     if args.command == "report":
         from repro.experiments.report import generate_report
 
-        generate_report(profile=args.profile, seed=args.seed, output_path=args.output)
+        with use_engine(engine):
+            generate_report(profile=args.profile, seed=args.seed, output_path=args.output)
         print(f"report written to {args.output}")
+        print(f"(engine: {engine.stats.summary()}, jobs={engine.jobs})")
         return 0
     if args.command == "sweep":
         from repro.experiments.profiles import get_profile
         from repro.experiments.sweep import parse_values, run_sweep
 
         values = parse_values(args.param, args.values)
-        result = run_sweep(
-            args.param, values, app=args.app,
-            profile=get_profile(args.profile), seed=args.seed,
-        )
+        with use_engine(engine):
+            result = run_sweep(
+                args.param, values, app=args.app,
+                profile=get_profile(args.profile), seed=args.seed,
+            )
         print(result.to_text())
         if args.chart:
             from repro.experiments.ascii_plot import chart_for_result
@@ -79,11 +115,14 @@ def main(argv=None) -> int:
             if chart:
                 print()
                 print(chart)
+        print(f"(engine: {engine.stats.summary()}, jobs={engine.jobs})")
         return 0
     targets = experiment_ids() if args.experiment == "all" else [args.experiment]
     for experiment_id in targets:
         started = time.time()
-        result = run_experiment(experiment_id, profile=args.profile, seed=args.seed)
+        result = run_experiment(
+            experiment_id, profile=args.profile, seed=args.seed, engine=engine
+        )
         print(result.to_text())
         if args.chart:
             from repro.experiments.ascii_plot import chart_for_result
@@ -96,6 +135,7 @@ def main(argv=None) -> int:
         if args.json:
             path = args.json if len(targets) == 1 else f"{args.json}.{experiment_id}.json"
             result.to_json(path)
+    print(f"(engine: {engine.stats.summary()}, jobs={engine.jobs})")
     return 0
 
 

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional, Sequence
 
-from repro.apps.stereo import StereoParams, StereoResult, solve_stereo
+from repro.apps.stereo import StereoParams, StereoResult
 from repro.core.params import RSUConfig
 from repro.data.stereo_data import PAPER_STEREO_NAMES, StereoDataset, load_stereo
+from repro.experiments.engine import get_engine, solve_task
 from repro.experiments.profiles import Profile
 
 #: Where experiment image artifacts (PGM maps) are written.
@@ -19,42 +20,59 @@ def stereo_params(profile: Profile, iterations: Optional[int] = None) -> StereoP
     return StereoParams(iterations=iterations or profile.stereo_iterations)
 
 
-def load_stereo_suite(profile: Profile, sweep: bool = False) -> List[StereoDataset]:
-    """The three stereo datasets at the profile's scale.
+def stereo_suite_specs(profile: Profile, sweep: bool = False) -> List[dict]:
+    """Loader kwargs for the three stereo datasets at the profile's scale.
 
-    ``sweep=True`` selects the smaller sweep scale used by
-    many-configuration experiments (Fig. 5, Fig. 8).
+    The experiment engine addresses datasets by loader arguments (so
+    tasks stay hashable/picklable); ``sweep=True`` selects the smaller
+    sweep scale used by many-configuration experiments (Fig. 5, Fig. 8).
     """
     scale = profile.sweep_scale if sweep else profile.stereo_scale
-    return [load_stereo(name, scale=scale) for name in PAPER_STEREO_NAMES]
+    return [{"name": name, "scale": scale} for name in PAPER_STEREO_NAMES]
+
+
+def load_stereo_suite(profile: Profile, sweep: bool = False) -> List[StereoDataset]:
+    """The three stereo datasets at the profile's scale (loaded)."""
+    return [load_stereo(**spec) for spec in stereo_suite_specs(profile, sweep)]
 
 
 def run_stereo_backends(
-    datasets: Iterable[StereoDataset],
+    dataset_specs: Sequence[dict],
     backends: Dict[str, Optional[RSUConfig]],
     params: StereoParams,
     seed: int = 3,
 ) -> Dict[str, Dict[str, StereoResult]]:
-    """Solve every dataset with every backend.
+    """Solve every dataset with every backend through the ambient engine.
 
-    ``backends`` maps a display name to either None (named backend kind
-    equal to the display name) or an :class:`RSUConfig` (run through the
-    generic ``rsu`` backend).
+    ``dataset_specs`` are ``load_stereo`` kwargs (see
+    :func:`stereo_suite_specs`); ``backends`` maps a display name to
+    either None (named backend kind equal to the display name) or an
+    :class:`RSUConfig` (run through the generic ``rsu`` backend).  The
+    whole backend x dataset grid is dispatched as one task batch, so
+    ``--jobs N`` parallelizes it and the result cache dedupes re-runs.
 
     Returns ``results[backend_name][dataset_name]``.
     """
+    grid = [
+        (backend_name, config, spec)
+        for backend_name, config in backends.items()
+        for spec in dataset_specs
+    ]
+    tasks = [
+        solve_task(
+            "stereo",
+            spec,
+            backend="rsu" if config is not None else backend_name,
+            config=config,
+            params=params,
+            seed=seed,
+        )
+        for backend_name, config, spec in grid
+    ]
+    outcomes = get_engine().run_tasks(tasks)
     results: Dict[str, Dict[str, StereoResult]] = {}
-    for backend_name, config in backends.items():
-        per_dataset = {}
-        for dataset in datasets:
-            if config is None:
-                result = solve_stereo(dataset, backend_name, params, seed=seed)
-            else:
-                result = solve_stereo(
-                    dataset, "rsu", params, rsu_config=config, seed=seed
-                )
-            per_dataset[dataset.name] = result
-        results[backend_name] = per_dataset
+    for (backend_name, _, spec), outcome in zip(grid, outcomes):
+        results.setdefault(backend_name, {})[spec["name"]] = outcome
     return results
 
 

@@ -8,14 +8,14 @@ matches software quality while fewer bits degrade it ("BP ... 27.0% vs
 
 from __future__ import annotations
 
-from repro.apps.stereo import solve_stereo
 from repro.core.params import RSUConfig
 from repro.experiments.common import (
-    load_stereo_suite,
     mean,
     run_stereo_backends,
     stereo_params,
+    stereo_suite_specs,
 )
+from repro.experiments.engine import get_engine, solve_task
 from repro.experiments.profiles import FULL, Profile
 from repro.experiments.result import ExperimentResult
 
@@ -41,25 +41,31 @@ def energy_only_config(energy_bits: int) -> RSUConfig:
 
 def run(profile: Profile = FULL, seed: int = 3) -> ExperimentResult:
     """Run the Energy_bits sweep on the three stereo datasets."""
-    datasets = load_stereo_suite(profile, sweep=True)
+    specs = stereo_suite_specs(profile, sweep=True)
     params = stereo_params(profile, iterations=profile.sweep_iterations)
-    software = run_stereo_backends(datasets, {"software": None}, params, seed=seed)
+    software = run_stereo_backends(specs, {"software": None}, params, seed=seed)
+    grid = [(bits, spec) for bits in ENERGY_BITS_RANGE for spec in specs]
+    tasks = [
+        solve_task("stereo", spec, config=energy_only_config(bits),
+                   params=params, seed=seed)
+        for bits, spec in grid
+    ]
+    outcomes = get_engine().run_tasks(tasks)
+    per_bits = {}
+    for (bits, _), outcome in zip(grid, outcomes):
+        per_bits.setdefault(bits, []).append(outcome.bad_pixel)
     rows = []
     series = []
     for bits in ENERGY_BITS_RANGE:
-        config = energy_only_config(bits)
-        bps = [
-            solve_stereo(ds, "rsu", params, rsu_config=config, seed=seed).bad_pixel
-            for ds in datasets
-        ]
+        bps = per_bits[bits]
         rows.append([bits] + bps + [mean(bps)])
         series.append(mean(bps))
-    software_bps = [software["software"][ds.name].bad_pixel for ds in datasets]
+    software_bps = [software["software"][spec["name"]].bad_pixel for spec in specs]
     rows.append(["float (software)"] + software_bps + [mean(software_bps)])
     return ExperimentResult(
         experiment_id="energy_bits",
         title="BP% vs Energy_bits (idealized lambda/time stages)",
-        columns=["Energy_bits"] + [ds.name for ds in datasets] + ["average"],
+        columns=["Energy_bits"] + [spec["name"] for spec in specs] + ["average"],
         rows=rows,
         notes=[
             "Paper (Sec. III-C1): 8-bit energy matches software; fewer"

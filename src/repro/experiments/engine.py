@@ -1,0 +1,316 @@
+"""Parallel experiment execution engine with content-addressed caching.
+
+Every quality experiment in the registry decomposes into independent
+solves: one application solved at one design point with one seed on one
+dataset.  :class:`SolveTask` captures such a unit as pure data (the
+dataset is named by its loader arguments, never by a loaded object), so
+a task can be
+
+* **hashed** — the canonical JSON payload of a task is SHA-256'd into a
+  cache key, giving a content-addressed on-disk result cache under
+  ``.repro_cache/`` that makes re-runs and interrupted sweeps resume
+  instantly;
+* **shipped to a worker process** — tasks pickle cheaply, and a
+  :class:`concurrent.futures.ProcessPoolExecutor` shard pool executes
+  them with ``--jobs N`` parallelism.
+
+Because each task seeds its own solver (``solve_*(..., seed=...)``
+constructs a fresh ``np.random.default_rng``), results are byte-identical
+whether tasks run sequentially, in parallel, or out of a warm cache —
+the determinism regression in ``tests/test_experiments_engine.py``
+asserts exactly that.
+
+Experiments obtain the ambient engine through :func:`get_engine`; the
+CLI installs one built from ``--jobs`` / ``--cache-dir`` / ``--no-cache``
+via :func:`use_engine`.  The default engine is sequential and cache-less,
+so library callers see the historical behaviour unless they opt in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.denoise import DenoiseParams, solve_denoise
+from repro.apps.motion import MotionParams, solve_motion
+from repro.apps.segmentation import SegmentationParams, solve_segmentation
+from repro.apps.stereo import StereoParams, solve_stereo
+from repro.core.params import RSUConfig
+from repro.data.denoise_data import make_denoise_dataset
+from repro.data.motion_data import load_flow
+from repro.data.segmentation_data import make_segmentation_dataset
+from repro.data.stereo_data import load_stereo
+from repro.util.errors import ConfigError
+
+#: Bump when solver semantics change in a way the task payload cannot
+#: see; invalidates every previously cached result.
+CACHE_FORMAT_VERSION = 1
+
+#: Default on-disk cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: app name -> (solver, params class, dataset loader).  All four solvers
+#: share the ``(dataset, backend, params, rsu_config=, seed=)`` contract.
+APP_RUNNERS = {
+    "stereo": (solve_stereo, StereoParams, load_stereo),
+    "motion": (solve_motion, MotionParams, load_flow),
+    "segmentation": (solve_segmentation, SegmentationParams, make_segmentation_dataset),
+    "denoise": (solve_denoise, DenoiseParams, make_denoise_dataset),
+}
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """One independent (app, dataset, backend/config, params, seed) solve.
+
+    ``dataset`` and ``params`` are stored as sorted ``(name, value)``
+    tuples so the task is hashable and its payload canonical; use
+    :func:`solve_task` to build one from plain dicts/dataclasses.
+    """
+
+    app: str
+    dataset: Tuple[Tuple[str, object], ...]
+    backend: str = "rsu"
+    config: Optional[RSUConfig] = None
+    params: Tuple[Tuple[str, object], ...] = ()
+    seed: int = 3
+
+    def __post_init__(self):
+        if self.app not in APP_RUNNERS:
+            raise ConfigError(
+                f"unknown app {self.app!r}; expected one of {tuple(APP_RUNNERS)}"
+            )
+        if self.backend == "rsu" and self.config is None:
+            raise ConfigError("backend 'rsu' requires an explicit RSUConfig")
+
+    def payload(self) -> dict:
+        """Canonical JSON-serializable description (the cache-key input)."""
+        return {
+            "version": CACHE_FORMAT_VERSION,
+            "app": self.app,
+            "dataset": {k: _jsonable(v) for k, v in self.dataset},
+            "backend": self.backend,
+            "config": None if self.config is None else self.config.to_dict(),
+            "params": {k: _jsonable(v) for k, v in self.params},
+            "seed": self.seed,
+        }
+
+    def key(self) -> str:
+        """Content-addressed cache key: SHA-256 of the canonical payload."""
+        blob = json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _jsonable(value):
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def solve_task(
+    app: str,
+    dataset_kwargs: Dict[str, object],
+    backend: str = "rsu",
+    config: Optional[RSUConfig] = None,
+    params: object = None,
+    seed: int = 3,
+) -> SolveTask:
+    """Build a :class:`SolveTask` from loader kwargs and a params dataclass."""
+    params_items: Tuple[Tuple[str, object], ...] = ()
+    if params is not None:
+        params_items = tuple(sorted(asdict(params).items()))
+    return SolveTask(
+        app=app,
+        dataset=tuple(sorted(dataset_kwargs.items())),
+        backend=backend,
+        config=config,
+        params=params_items,
+        seed=seed,
+    )
+
+
+@lru_cache(maxsize=32)
+def _load_dataset(app: str, dataset_items: Tuple[Tuple[str, object], ...]):
+    """Load (and memoize per process) the dataset a task names.
+
+    Memoization means a sweep over N design points loads its dataset
+    once per (app, loader-arguments) — both in the sequential path and
+    inside each pool worker — instead of once per design point.
+    """
+    loader = APP_RUNNERS[app][2]
+    return loader(**dict(dataset_items))
+
+
+def execute_task(task: SolveTask):
+    """Run one task to completion; module-level so pool workers can pickle it."""
+    solver, params_cls, _ = APP_RUNNERS[task.app]
+    dataset = _load_dataset(task.app, task.dataset)
+    params = params_cls(**dict(task.params)) if task.params else params_cls()
+    return solver(
+        dataset, task.backend, params, rsu_config=task.config, seed=task.seed
+    )
+
+
+_MISS = object()
+
+
+class ResultCache:
+    """Content-addressed pickle store under ``root`` (two-level fan-out)."""
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str):
+        """The cached value, or the ``_MISS`` sentinel on any failure."""
+        target = self.path(key)
+        try:
+            with open(target, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return _MISS
+
+    def store(self, key: str, value) -> None:
+        """Atomically persist ``value`` (write-to-temp + rename)."""
+        target = self.path(key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, target)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+@dataclass
+class EngineStats:
+    """Counters for one engine's lifetime (inspected by tests and the CLI)."""
+
+    tasks: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+    executed: int = 0
+    parallel_batches: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.tasks} tasks: {self.executed} solved, "
+            f"{self.cache_hits} cache hits, {self.deduplicated} deduplicated"
+        )
+
+
+class ExperimentEngine:
+    """Dispatches :class:`SolveTask` batches over a shard pool + cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` executes inline (no pool, no pickling).
+    cache_dir:
+        Root of the on-disk result cache.
+    use_cache:
+        Whether to consult/populate the cache.  Off by default for
+        library callers; the CLI turns it on unless ``--no-cache``.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: os.PathLike = DEFAULT_CACHE_DIR,
+        use_cache: bool = False,
+    ):
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache: Optional[ResultCache] = ResultCache(cache_dir) if use_cache else None
+        self.stats = EngineStats()
+
+    def run_tasks(self, tasks: Sequence[SolveTask]) -> List:
+        """Execute every task; results are returned in task order.
+
+        Identical tasks (same content key) are solved once; cache hits
+        skip execution entirely.  The per-task seeding discipline makes
+        the output independent of ``jobs`` and of cache warmth.
+        """
+        tasks = list(tasks)
+        self.stats.tasks += len(tasks)
+        keys = [task.key() for task in tasks]
+        results: List = [None] * len(tasks)
+        pending: Dict[str, List[int]] = {}
+        for index, key in enumerate(keys):
+            if self.cache is not None:
+                value = self.cache.load(key)
+                if value is not _MISS:
+                    results[index] = value
+                    self.stats.cache_hits += 1
+                    continue
+            if key in pending:
+                self.stats.deduplicated += 1
+            pending.setdefault(key, []).append(index)
+
+        unique = [(key, tasks[indices[0]]) for key, indices in pending.items()]
+        if unique:
+            outcomes = self._execute([task for _, task in unique])
+            self.stats.executed += len(unique)
+            for (key, _), outcome in zip(unique, outcomes):
+                if self.cache is not None:
+                    self.cache.store(key, outcome)
+                for index in pending[key]:
+                    results[index] = outcome
+        return results
+
+    def run_task(self, task: SolveTask):
+        """Convenience wrapper for a single task."""
+        return self.run_tasks([task])[0]
+
+    def _execute(self, tasks: List[SolveTask]) -> List:
+        if self.jobs > 1 and len(tasks) > 1:
+            self.stats.parallel_batches += 1
+            workers = min(self.jobs, len(tasks))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(execute_task, tasks))
+        return [execute_task(task) for task in tasks]
+
+
+#: Ambient engine used by the experiment modules; sequential/cache-less
+#: until the CLI (or a test) installs one via :func:`use_engine`.
+_DEFAULT_ENGINE: Optional[ExperimentEngine] = None
+_FALLBACK_ENGINE = ExperimentEngine(jobs=1, use_cache=False)
+
+
+def get_engine() -> ExperimentEngine:
+    """The ambient :class:`ExperimentEngine` experiments should use."""
+    return _DEFAULT_ENGINE if _DEFAULT_ENGINE is not None else _FALLBACK_ENGINE
+
+
+def set_default_engine(engine: Optional[ExperimentEngine]) -> Optional[ExperimentEngine]:
+    """Install ``engine`` as the ambient engine; returns the previous one."""
+    global _DEFAULT_ENGINE
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+    return previous
+
+
+@contextmanager
+def use_engine(engine: ExperimentEngine):
+    """Scope ``engine`` as the ambient engine for a ``with`` block."""
+    previous = set_default_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_default_engine(previous)

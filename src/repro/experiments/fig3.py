@@ -7,7 +7,7 @@ showing that the previously proposed design mislabels most pixels
 
 from __future__ import annotations
 
-from repro.experiments.common import load_stereo_suite, run_stereo_backends, stereo_params
+from repro.experiments.common import run_stereo_backends, stereo_params, stereo_suite_specs
 from repro.experiments.profiles import FULL, Profile
 from repro.experiments.result import ExperimentResult
 
@@ -18,24 +18,25 @@ PAPER_PREV_RSUG_BP = {"teddy": 93.0, "poster": 92.0, "art": 91.0}
 
 def run(profile: Profile = FULL, seed: int = 3) -> ExperimentResult:
     """Run Fig. 3: stereo BP and RMS for software vs previous RSU-G."""
-    datasets = load_stereo_suite(profile)
+    specs = stereo_suite_specs(profile)
     params = stereo_params(profile)
     results = run_stereo_backends(
-        datasets, {"software": None, "prev_rsug": None}, params, seed=seed
+        specs, {"software": None, "prev_rsug": None}, params, seed=seed
     )
     rows = []
-    for dataset in datasets:
-        sw = results["software"][dataset.name]
-        prev = results["prev_rsug"][dataset.name]
+    for spec in specs:
+        name = spec["name"]
+        sw = results["software"][name]
+        prev = results["prev_rsug"][name]
         rows.append(
             [
-                dataset.name,
+                name,
                 sw.bad_pixel,
                 prev.bad_pixel,
                 sw.rms,
                 prev.rms,
-                PAPER_SOFTWARE_BP[dataset.name],
-                PAPER_PREV_RSUG_BP[dataset.name],
+                PAPER_SOFTWARE_BP[name],
+                PAPER_PREV_RSUG_BP[name],
             ]
         )
     return ExperimentResult(

@@ -19,14 +19,14 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.apps.stereo import solve_stereo
 from repro.core.params import RSUConfig
 from repro.experiments.common import (
-    load_stereo_suite,
     mean,
     run_stereo_backends,
     stereo_params,
+    stereo_suite_specs,
 )
+from repro.experiments.engine import get_engine, solve_task
 from repro.experiments.profiles import FULL, Profile
 from repro.experiments.result import ExperimentResult
 
@@ -59,34 +59,50 @@ def run(
     lambda_bits_range: tuple = (3, 4, 5, 6, 7),
 ) -> ExperimentResult:
     """Run Fig. 5a/5b: average BP per variant per Lambda_bits."""
-    datasets = load_stereo_suite(profile, sweep=True)
+    specs = stereo_suite_specs(profile, sweep=True)
     params = stereo_params(profile, iterations=profile.sweep_iterations)
     if profile.name == "quick":
         lambda_bits_range = tuple(b for b in lambda_bits_range if b <= 5)
-    software = run_stereo_backends(datasets, {"software": None}, params, seed=seed)
+    software = run_stereo_backends(specs, {"software": None}, params, seed=seed)
     software_avg = mean(r.bad_pixel for r in software["software"].values())
+
+    # The whole bits x variant x dataset grid is one engine batch; the
+    # fig5b solves dedupe against the grid when Lambda_bits=4 is swept.
+    grid = [
+        (bits, name, spec)
+        for bits in lambda_bits_range
+        for name in VARIANTS
+        for spec in specs
+    ]
+    tasks = [
+        solve_task("stereo", spec, config=variant_config(name, bits),
+                   params=params, seed=seed)
+        for bits, name, spec in grid
+    ]
+    config_4bit = variant_config("scaled_cutoff_pow2", 4)
+    fig5b_tasks = [
+        solve_task("stereo", spec, config=config_4bit, params=params, seed=seed)
+        for spec in specs
+    ]
+    outcomes = get_engine().run_tasks(tasks + fig5b_tasks)
 
     rows = []
     series: Dict[str, list] = {name: [] for name in VARIANTS}
+    per_point: Dict[tuple, list] = {}
+    for (bits, name, _), outcome in zip(grid, outcomes):
+        per_point.setdefault((bits, name), []).append(outcome.bad_pixel)
     for bits in lambda_bits_range:
         row = [bits]
         for name in VARIANTS:
-            config = variant_config(name, bits)
-            bps = [
-                solve_stereo(ds, "rsu", params, rsu_config=config, seed=seed).bad_pixel
-                for ds in datasets
-            ]
-            avg = mean(bps)
+            avg = mean(per_point[(bits, name)])
             series[name].append(avg)
             row.append(avg)
         rows.append(row)
 
     fig5b_rows = []
-    config_4bit = variant_config("scaled_cutoff_pow2", 4)
-    for dataset in datasets:
-        rsu = solve_stereo(dataset, "rsu", params, rsu_config=config_4bit, seed=seed)
-        sw = software["software"][dataset.name]
-        fig5b_rows.append((dataset.name, sw.bad_pixel, rsu.bad_pixel))
+    for spec, rsu in zip(specs, outcomes[len(grid):]):
+        sw = software["software"][spec["name"]]
+        fig5b_rows.append((spec["name"], sw.bad_pixel, rsu.bad_pixel))
 
     return ExperimentResult(
         experiment_id="fig5",

@@ -20,10 +20,9 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.apps.stereo import solve_stereo
 from repro.core.params import new_design_config
-from repro.data.stereo_data import load_stereo
 from repro.experiments.common import stereo_params
+from repro.experiments.engine import get_engine, solve_task
 from repro.experiments.profiles import FULL, Profile
 from repro.experiments.result import ExperimentResult
 
@@ -31,31 +30,41 @@ from repro.experiments.result import ExperimentResult
 CHOSEN_POINT = {"time_bits": 5, "truncation": 0.5}
 
 
-def _sweep(dataset, params, profile, tie_policy, seed) -> Dict[int, Dict[float, float]]:
-    heatmap: Dict[int, Dict[float, float]] = {}
-    for time_bits in profile.fig8_time_bits:
-        heatmap[time_bits] = {}
-        for truncation in profile.fig8_truncations:
-            config = new_design_config(
+def _sweep(spec, params, profile, tie_policy, seed) -> Dict[int, Dict[float, float]]:
+    """One engine batch over the (Time_bits, Truncation) grid."""
+    grid = [
+        (time_bits, truncation)
+        for time_bits in profile.fig8_time_bits
+        for truncation in profile.fig8_truncations
+    ]
+    tasks = [
+        solve_task(
+            "stereo", spec, params=params, seed=seed,
+            config=new_design_config(
                 time_bits=time_bits, truncation=truncation, tie_policy=tie_policy
-            )
-            result = solve_stereo(dataset, "rsu", params, rsu_config=config, seed=seed)
-            heatmap[time_bits][truncation] = result.bad_pixel
+            ),
+        )
+        for time_bits, truncation in grid
+    ]
+    outcomes = get_engine().run_tasks(tasks)
+    heatmap: Dict[int, Dict[float, float]] = {}
+    for (time_bits, truncation), outcome in zip(grid, outcomes):
+        heatmap.setdefault(time_bits, {})[truncation] = outcome.bad_pixel
     return heatmap
 
 
 def run(profile: Profile = FULL, seed: int = 3) -> ExperimentResult:
     """Run Fig. 8: BP heatmap over the timing design space."""
-    dataset = load_stereo("poster", scale=profile.sweep_scale)
+    spec = {"name": "poster", "scale": profile.sweep_scale}
     params = stereo_params(profile, iterations=profile.sweep_iterations)
-    heatmap = _sweep(dataset, params, profile, "first", seed)
+    heatmap = _sweep(spec, params, profile, "first", seed)
     # Reduced robustness sweep with unbiased ties: corners + chosen point.
     robust_bits = (profile.fig8_time_bits[0], profile.fig8_time_bits[-1])
     robust_truncs = (profile.fig8_truncations[0], profile.fig8_truncations[-1])
     robust_profile = profile.with_(
         fig8_time_bits=robust_bits, fig8_truncations=robust_truncs
     )
-    random_heatmap = _sweep(dataset, params, robust_profile, "random", seed)
+    random_heatmap = _sweep(spec, params, robust_profile, "random", seed)
     rows = [
         [time_bits] + [heatmap[time_bits][t] for t in profile.fig8_truncations]
         for time_bits in profile.fig8_time_bits

@@ -11,18 +11,20 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, List
 
-from repro.apps.motion import MotionParams, solve_motion
+from repro.apps.motion import MotionParams
 from repro.apps.segmentation import SegmentationParams, solve_segmentation
 from repro.data.io import write_pgm
-from repro.data.motion_data import FLOW_NAMES, load_flow
+from repro.data.motion_data import FLOW_NAMES
 from repro.data.segmentation_data import load_segmentation_suite
+from repro.data.stereo_data import load_stereo
 from repro.experiments.common import (
     DEFAULT_ARTIFACT_DIR,
-    load_stereo_suite,
     mean,
     run_stereo_backends,
     stereo_params,
+    stereo_suite_specs,
 )
+from repro.experiments.engine import get_engine, solve_task
 from repro.experiments.profiles import FULL, Profile
 from repro.experiments.result import ExperimentResult
 
@@ -60,18 +62,18 @@ def run(
     rows = []
 
     # (a) stereo
-    stereo_sets = load_stereo_suite(profile)
+    specs = stereo_suite_specs(profile)
     sparams = stereo_params(profile)
     stereo = run_stereo_backends(
-        stereo_sets, {"software": None, "new_rsug": None}, sparams, seed=seed
+        specs, {"software": None, "new_rsug": None}, sparams, seed=seed
     )
-    for dataset in stereo_sets:
-        sw = stereo["software"][dataset.name]
-        rsu = stereo["new_rsug"][dataset.name]
-        rows.append(["stereo BP%", dataset.name, sw.bad_pixel, rsu.bad_pixel])
+    for spec in specs:
+        sw = stereo["software"][spec["name"]]
+        rsu = stereo["new_rsug"][spec["name"]]
+        rows.append(["stereo BP%", spec["name"], sw.bad_pixel, rsu.bad_pixel])
 
     # (b) teddy disparity map under the new design
-    teddy = stereo_sets[0]
+    teddy = load_stereo(**specs[0])
     artifacts = [
         str(
             write_pgm(
@@ -84,10 +86,22 @@ def run(
 
     # (c) motion estimation
     mparams = MotionParams(iterations=profile.motion_iterations)
+    motion_grid = [
+        (name, backend) for name in FLOW_NAMES for backend in ("software", "new_rsug")
+    ]
+    motion_results = get_engine().run_tasks(
+        [
+            solve_task(
+                "motion", {"name": name, "scale": profile.motion_scale},
+                backend=backend, params=mparams, seed=seed,
+            )
+            for name, backend in motion_grid
+        ]
+    )
+    motion = {key: result for key, result in zip(motion_grid, motion_results)}
     for name in FLOW_NAMES:
-        dataset = load_flow(name, scale=profile.motion_scale)
-        sw = solve_motion(dataset, "software", mparams, seed=seed)
-        rsu = solve_motion(dataset, "new_rsug", mparams, seed=seed)
+        sw = motion[(name, "software")]
+        rsu = motion[(name, "new_rsug")]
         rows.append(["motion EPE", name, sw.epe, rsu.epe])
 
     # (d) segmentation VoI

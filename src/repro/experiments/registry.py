@@ -25,6 +25,7 @@ from repro.experiments import (
     table3,
     table4,
 )
+from repro.experiments.engine import ExperimentEngine, use_engine
 from repro.experiments.profiles import Profile, get_profile
 from repro.experiments.result import ExperimentResult
 from repro.util.errors import ConfigError
@@ -49,15 +50,25 @@ EXPERIMENTS: Dict[str, Callable] = {
 
 
 def run_experiment(
-    experiment_id: str, profile: str = "full", seed: int = 3
+    experiment_id: str,
+    profile: str = "full",
+    seed: int = 3,
+    engine: ExperimentEngine = None,
 ) -> ExperimentResult:
-    """Run one experiment by id under a named profile."""
+    """Run one experiment by id under a named profile.
+
+    ``engine`` scopes a specific :class:`ExperimentEngine` (parallel
+    jobs and/or result cache) to the run; None keeps the ambient one.
+    """
     if experiment_id not in EXPERIMENTS:
         raise ConfigError(
             f"unknown experiment {experiment_id!r}; expected one of {sorted(EXPERIMENTS)}"
         )
     prof: Profile = get_profile(profile)
-    return EXPERIMENTS[experiment_id](profile=prof, seed=seed)
+    if engine is None:
+        return EXPERIMENTS[experiment_id](profile=prof, seed=seed)
+    with use_engine(engine):
+        return EXPERIMENTS[experiment_id](profile=prof, seed=seed)
 
 
 def experiment_ids() -> list:

@@ -4,21 +4,23 @@
 solves one application at a series of design points differing in one
 :class:`~repro.core.params.RSUConfig` field and reports quality per
 point — the programmable version of the paper's Sec. III methodology.
+
+Sweeps run through the :mod:`repro.experiments.engine`: each value is
+one independent :class:`~repro.experiments.engine.SolveTask`, so the
+dataset is loaded once per (app, profile) — not once per value — and
+``--jobs``/caching apply.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
-from repro.apps.denoise import DenoiseParams, solve_denoise
-from repro.apps.motion import MotionParams, solve_motion
-from repro.apps.segmentation import SegmentationParams, solve_segmentation
-from repro.apps.stereo import StereoParams, solve_stereo
-from repro.core.params import RSUConfig, new_design_config
-from repro.data.denoise_data import make_denoise_dataset
-from repro.data.motion_data import load_flow
-from repro.data.segmentation_data import make_segmentation_dataset
-from repro.data.stereo_data import load_stereo
+from repro.apps.denoise import DenoiseParams
+from repro.apps.motion import MotionParams
+from repro.apps.segmentation import SegmentationParams
+from repro.apps.stereo import StereoParams
+from repro.core.params import new_design_config
+from repro.experiments.engine import get_engine, solve_task
 from repro.experiments.profiles import FULL, Profile
 from repro.experiments.result import ExperimentResult
 from repro.util.errors import ConfigError
@@ -49,38 +51,41 @@ def parse_values(param: str, raw: str) -> List:
     return values
 
 
-def _solve(app: str, config: RSUConfig, profile: Profile, seed: int) -> tuple:
-    """(metric name, value) for one app at one design point."""
+def app_sweep_spec(app: str, profile: Profile) -> Tuple[dict, object, str, object]:
+    """(dataset kwargs, params, metric name, metric getter) for one app.
+
+    The dataset kwargs are built once per (app, profile) and shared by
+    every design point of the sweep; the engine's per-process dataset
+    memoization turns that into a single load.
+    """
     if app == "stereo":
-        dataset = load_stereo("poster", scale=profile.sweep_scale)
-        result = solve_stereo(
-            dataset, "rsu", StereoParams(iterations=profile.sweep_iterations),
-            rsu_config=config, seed=seed,
+        return (
+            {"name": "poster", "scale": profile.sweep_scale},
+            StereoParams(iterations=profile.sweep_iterations),
+            "BP%",
+            lambda r: r.bad_pixel,
         )
-        return "BP%", result.bad_pixel
     if app == "motion":
-        dataset = load_flow("venus", scale=profile.motion_scale)
-        result = solve_motion(
-            dataset, "rsu", MotionParams(iterations=profile.motion_iterations),
-            rsu_config=config, seed=seed,
+        return (
+            {"name": "venus", "scale": profile.motion_scale},
+            MotionParams(iterations=profile.motion_iterations),
+            "EPE",
+            lambda r: r.epe,
         )
-        return "EPE", result.epe
     if app == "segmentation":
-        dataset = make_segmentation_dataset(
-            "sweep", profile.seg_shape, 4, seed=100
+        return (
+            {"name": "sweep", "shape": profile.seg_shape, "n_labels": 4, "seed": 100},
+            SegmentationParams(iterations=profile.seg_iterations),
+            "VoI",
+            lambda r: r.voi,
         )
-        result = solve_segmentation(
-            dataset, "rsu", SegmentationParams(iterations=profile.seg_iterations),
-            rsu_config=config, seed=seed,
-        )
-        return "VoI", result.voi
     if app == "denoise":
-        dataset = make_denoise_dataset("sweep", profile.seg_shape, 16, seed=100)
-        result = solve_denoise(
-            dataset, "rsu", DenoiseParams(iterations=profile.sweep_iterations),
-            rsu_config=config, seed=seed,
+        return (
+            {"name": "sweep", "shape": profile.seg_shape, "n_levels": 16, "seed": 100},
+            DenoiseParams(iterations=profile.sweep_iterations),
+            "PSNR (dB)",
+            lambda r: r.psnr_db,
         )
-        return "PSNR (dB)", result.psnr_db
     raise ConfigError(f"unknown app {app!r}; pick from {APPS}")
 
 
@@ -94,14 +99,18 @@ def run_sweep(
     """Solve ``app`` at each design point and tabulate quality."""
     if app not in APPS:
         raise ConfigError(f"unknown app {app!r}; pick from {APPS}")
-    rows = []
-    metric_name = None
-    series = []
-    for value in values:
-        config = new_design_config(**{param: value})
-        metric_name, metric = _solve(app, config, profile, seed)
-        rows.append([value, metric])
-        series.append(metric)
+    dataset_kwargs, params, metric_name, metric_of = app_sweep_spec(app, profile)
+    tasks = [
+        solve_task(
+            app, dataset_kwargs,
+            config=new_design_config(**{param: value}),
+            params=params, seed=seed,
+        )
+        for value in values
+    ]
+    outcomes = get_engine().run_tasks(tasks)
+    rows = [[value, metric_of(result)] for value, result in zip(values, outcomes)]
+    series = [row[1] for row in rows]
     return ExperimentResult(
         experiment_id=f"sweep:{param}:{app}",
         title=f"{app} quality vs {param} (new design, other fields default)",

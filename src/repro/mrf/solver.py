@@ -82,6 +82,8 @@ class MCMCSolver:
         self._rng = np.random.default_rng(seed)
         self._masks = coloring_masks(model.shape, model.connectivity)
         self._init = init
+        # Resolved once: sweep() runs twice per iteration on the hot path.
+        self._wants_current = bool(getattr(sampler, "wants_current_labels", False))
 
     def initial_labels(self) -> np.ndarray:
         """Build the starting labeling according to ``init``."""
@@ -112,7 +114,7 @@ class MCMCSolver:
         """
         for mask in self._masks:
             energies = self.model.site_energies(labels, mask)
-            if getattr(self.sampler, "wants_current_labels", False):
+            if self._wants_current:
                 labels[mask] = self.sampler.sample_given_current(
                     energies, temperature, labels[mask]
                 )

@@ -6,11 +6,16 @@ import pytest
 from repro.core import (
     RSUConfig,
     boundary_table,
+    conversion_lut,
     conversion_memory_bits,
     lambda_codes,
     lambda_codes_by_boundaries,
+    lambda_codes_lut,
     legacy_lut,
+    lut_enabled,
     new_design_config,
+    set_lut_enabled,
+    use_lut,
 )
 from repro.util import ConfigError
 
@@ -90,6 +95,91 @@ class TestBoundaryConversion:
     def test_requires_full_technique_stack(self):
         with pytest.raises(ConfigError):
             boundary_table(10.0, NEW.with_(cutoff=False))
+
+
+class TestMemoizedLutFastPath:
+    """LUT, direct and boundary conversions must agree code for code."""
+
+    DESIGN_GRID = [
+        new_design_config(),
+        new_design_config(lambda_bits=3),
+        new_design_config(lambda_bits=6),
+        new_design_config(energy_bits=6),
+        new_design_config(cutoff=False),
+        new_design_config(scaling=False),
+        new_design_config(pow2_lambda=False),
+        new_design_config(scaling=False, cutoff=False, pow2_lambda=False),
+    ]
+
+    @pytest.mark.parametrize("temperature", [0.7, 1.34, 5.0, 40.0, 200.0])
+    def test_lut_matches_direct_across_design_grid(self, temperature):
+        rng = np.random.default_rng(7)
+        for config in self.DESIGN_GRID:
+            energies = rng.integers(
+                0, 2 ** config.energy_bits, size=(40, 9), dtype=np.int64
+            )
+            direct = lambda_codes(energies.astype(float), temperature, config)
+            lut = lambda_codes_lut(energies, temperature, config)
+            assert np.array_equal(direct, lut), (config, temperature)
+
+    @pytest.mark.parametrize("temperature", [0.7, 5.0, 40.0])
+    def test_lut_direct_and_boundaries_all_agree(self, temperature):
+        energies = np.arange(256, dtype=np.int64)[None, :]
+        direct = lambda_codes(energies.astype(float), temperature, NEW)
+        lut = lambda_codes_lut(energies, temperature, NEW)
+        boundaries = lambda_codes_by_boundaries(
+            energies.astype(float), temperature, NEW
+        )
+        assert np.array_equal(direct, lut)
+        assert np.array_equal(direct, boundaries)
+
+    def test_table_is_memoized_and_readonly(self):
+        first = conversion_lut(12.5, NEW)
+        second = conversion_lut(12.5, NEW)
+        assert first is second
+        assert not first.flags.writeable
+        assert first.shape == (2 ** NEW.energy_bits,)
+
+    def test_rejects_noninteger_energies(self):
+        with pytest.raises(ConfigError):
+            lambda_codes_lut(np.asarray([[0.5, 1.0]]), 5.0, NEW)
+
+    def test_rejects_energies_off_the_grid(self):
+        config = NEW.with_(scaling=False)
+        with pytest.raises(ConfigError):
+            lambda_codes_lut(np.asarray([[-1, 0]]), 5.0, config)
+        with pytest.raises(ConfigError):
+            lambda_codes_lut(np.asarray([[0, 256]]), 5.0, config)
+
+    def test_rejects_1d_and_bad_temperature(self):
+        with pytest.raises(ConfigError):
+            lambda_codes_lut(np.zeros(4, dtype=np.int64), 1.0, NEW)
+        with pytest.raises(ConfigError):
+            lambda_codes_lut(np.zeros((1, 4), dtype=np.int64), 0.0, NEW)
+
+    def test_global_switch_round_trips(self):
+        assert lut_enabled()
+        with use_lut(False):
+            assert not lut_enabled()
+            with use_lut(True):
+                assert lut_enabled()
+            assert not lut_enabled()
+        assert lut_enabled()
+        previous = set_lut_enabled(False)
+        assert previous is True
+        assert set_lut_enabled(True) is False
+
+    def test_sampler_codes_identical_with_and_without_lut(self):
+        from repro.core import RSUGSampler
+
+        energies = np.random.default_rng(11).uniform(0, 9.0, size=(30, 6))
+        with_lut = RSUGSampler(NEW, 9.0, np.random.default_rng(0), use_lut=True)
+        without = RSUGSampler(NEW, 9.0, np.random.default_rng(0), use_lut=False)
+        for temperature in (0.3, 0.05, 2.0):
+            assert np.array_equal(
+                with_lut.codes_for(energies, temperature),
+                without.codes_for(energies, temperature),
+            )
 
 
 class TestLegacyLut:
