@@ -17,6 +17,11 @@ Three lanes:
 * ``sweep_engine`` — the CLI sweep path, same lanes.
 * ``lambda_lut`` — one full stereo solve with the conversion LUT
   disabled (per-site ``np.exp``) vs enabled (integer table gather).
+* ``sweep_kernel`` — the same stereo solve through the reference
+  per-sweep pipeline (``use_fused=False``) vs the fused allocation-free
+  sweep kernel (the solver default).  Labels are asserted byte-identical
+  before either time is recorded, and the fused time is also reported
+  against the PR 2 recorded ``lambda_lut.lut_s`` baseline (2.7856 s).
 
 Every lane asserts byte-identical results across its variants before
 recording a time.  Run directly (``python benchmarks/test_bench_perf.py``)
@@ -38,10 +43,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.apps.stereo import StereoParams, solve_stereo
+from repro.apps.common import make_backend
+from repro.apps.stereo import StereoParams, build_stereo_mrf, solve_stereo
 from repro.core.convert import use_lut
 from repro.core.params import new_design_config
 from repro.data.stereo_data import load_stereo
+from repro.mrf.annealing import geometric_for_span
+from repro.mrf.solver import MCMCSolver
 from repro.experiments import QUICK
 from repro.experiments.ablations import run as run_ablations
 from repro.experiments.engine import ExperimentEngine, use_engine
@@ -154,6 +162,52 @@ def bench_lambda_lut(profile):
     }
 
 
+#: ``lambda_lut.lut_s`` recorded by the PR 2 baseline run of this
+#: harness (small profile) — the reference the fused sweep kernel is
+#: measured against.
+PR2_LUT_BASELINE_S = 2.7856
+
+
+def bench_sweep_kernel(profile):
+    """Reference per-sweep pipeline vs the fused sweep kernel.
+
+    Byte-identity of the final label grids is asserted before either
+    time is recorded; both solves share one model, schedule and seed so
+    the only variable is ``use_fused``.
+    """
+    dataset = load_stereo("poster", scale=profile.stereo_scale)
+    params = StereoParams(iterations=profile.stereo_iterations)
+    model = build_stereo_mrf(dataset, params)
+    schedule = geometric_for_span(params.t0, params.t_final, params.iterations)
+
+    def solve(fused):
+        sampler = make_backend("rsu", model.max_energy(), seed=3,
+                               config=new_design_config())
+        solver = MCMCSolver(model, sampler, schedule, seed=3,
+                            track_energy=False, use_fused=fused)
+        return solver.run(params.iterations)
+
+    # Byte-identity first, then time: best of two runs per variant to
+    # damp scheduler noise (each run is a full solve, so "warm-up" means
+    # OS/cache state, not algorithmic state — the solver is recreated).
+    reference = solve(False)
+    fused = solve(True)
+    assert np.array_equal(reference.labels, fused.labels), "fused kernel diverged"
+    reference_s = min(_timed(lambda: solve(False))[0] for _ in range(2))
+    fused_s = min(_timed(lambda: solve(True))[0] for _ in range(2))
+
+    return {
+        "solve": f"stereo poster scale={profile.stereo_scale} "
+                 f"iters={profile.stereo_iterations}",
+        "reference_s": round(reference_s, 4),
+        "fused_s": round(fused_s, 4),
+        "speedup_fused_vs_reference": round(reference_s / fused_s, 2),
+        "pr2_lut_baseline_s": PR2_LUT_BASELINE_S,
+        "speedup_fused_vs_pr2_lut": round(PR2_LUT_BASELINE_S / fused_s, 2),
+        "results_byte_identical": True,
+    }
+
+
 def run_perf_baseline(profile_name: str = None) -> dict:
     """Run every lane and write ``BENCH_perf.json``; returns the payload."""
     profile_name = profile_name or os.environ.get("BENCH_PERF_PROFILE", "small")
@@ -171,9 +225,13 @@ def run_perf_baseline(profile_name: str = None) -> dict:
             "cache, on multi-core hosts additionally from the process pool. "
             "All lanes assert byte-identical results first."
         ),
+        # Single-process solver lanes run first: the engine lanes spin
+        # up process pools whose teardown can steal CPU from whatever
+        # is timed next (painful on single-core CI hosts).
+        "sweep_kernel": bench_sweep_kernel(profile),
+        "lambda_lut": bench_lambda_lut(profile),
         "registry_engine": bench_registry_engine(profile),
         "sweep_engine": bench_sweep_engine(profile),
-        "lambda_lut": bench_lambda_lut(profile),
     }
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -187,6 +245,8 @@ def test_perf_baseline():
     assert payload["sweep_engine"]["results_byte_identical"]
     assert payload["lambda_lut"]["results_byte_identical"]
     assert payload["lambda_lut"]["speedup_lut_vs_direct"] > 0
+    assert payload["sweep_kernel"]["results_byte_identical"]
+    assert payload["sweep_kernel"]["speedup_fused_vs_reference"] > 0
 
 
 if __name__ == "__main__":

@@ -20,7 +20,12 @@ from repro.core.analytic import (
     outcome_distributions,
     win_probabilities,
 )
-from repro.core.base import SamplerBackend, select_first_to_fire
+from repro.core.base import (
+    SamplerBackend,
+    SampleScratch,
+    select_first_to_fire,
+    select_first_to_fire_into,
+)
 from repro.core.cdf_sampler import CDFSampler
 from repro.core.convert import (
     boundary_table,
@@ -29,6 +34,7 @@ from repro.core.convert import (
     lambda_codes,
     lambda_codes_by_boundaries,
     lambda_codes_lut,
+    lambda_codes_lut_into,
     legacy_lut,
     lut_enabled,
     set_lut_enabled,
@@ -78,8 +84,11 @@ __all__ = [
     "RSUMHSampler",
     "SoftwareMHSampler",
     "SamplerBackend",
+    "SampleScratch",
     "select_first_to_fire",
+    "select_first_to_fire_into",
     "CDFSampler",
+    "lambda_codes_lut_into",
     "boundary_table",
     "conversion_lut",
     "conversion_memory_bits",

@@ -16,6 +16,38 @@ from repro.util.errors import DataError
 from repro.util.validation import check_positive
 
 
+class SampleScratch:
+    """Named pool of reusable work buffers for the fused sampling path.
+
+    The fused sweep kernel calls the same sampler on the same-shaped
+    energy matrix every half-sweep, so every intermediate array — rates,
+    uniforms, TTF bins, selection keys — can be allocated once and
+    reused.  ``buf(name, shape, dtype)`` returns the cached buffer for
+    that (name, shape, dtype) triple, allocating only on first use;
+    steady-state calls are allocation-free.  Contents are *not* zeroed
+    between calls — every consumer overwrites its buffer fully.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self):
+        self._buffers = {}
+
+    def buf(self, name: str, shape: tuple, dtype) -> np.ndarray:
+        """The reusable buffer registered under ``name`` (allocate once)."""
+        key = (name, tuple(shape), np.dtype(dtype))
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = np.empty(key[1], dtype=key[2])
+            self._buffers[key] = buffer
+        return buffer
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the pool (for diagnostics/tests)."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+
 class SamplerBackend(ABC):
     """Draws Gibbs labels from per-site, per-label energies.
 
@@ -54,6 +86,25 @@ class SamplerBackend(ABC):
         labels = self._sample_batch(arr, float(temperature))
         return np.asarray(labels, dtype=np.int64)
 
+    def sample_into(
+        self,
+        energies: np.ndarray,
+        temperature: float,
+        out: np.ndarray,
+        scratch: SampleScratch,
+    ) -> np.ndarray:
+        """Draw one label per site into the preallocated ``out`` buffer.
+
+        Contract: byte-identical to :meth:`sample` — same labels, same
+        consumption of every RNG stream — with intermediate arrays taken
+        from ``scratch`` instead of freshly allocated.  The base
+        implementation simply delegates to :meth:`sample` (correct for
+        every backend); samplers on the solver's hot path override it
+        with a genuinely fused, allocation-free pipeline.
+        """
+        out[...] = self.sample(energies, temperature)
+        return out
+
 
 def select_first_to_fire(
     ttf: np.ndarray, tie_policy: str, rng: np.random.Generator
@@ -84,3 +135,56 @@ def select_first_to_fire(
     else:
         keys = ttf.astype(np.int64) * np.int64(n_labels) + order
     return np.argmin(keys, axis=1).astype(np.int64)
+
+
+def select_first_to_fire_into(
+    ttf: np.ndarray,
+    tie_policy: str,
+    rng: np.random.Generator,
+    out: np.ndarray,
+    scratch: SampleScratch,
+) -> np.ndarray:
+    """Fused :func:`select_first_to_fire`: same winners, reused buffers.
+
+    Byte-identical to the reference selection for every tie policy and
+    TTF dtype, including the RNG stream: the ``random`` policy draws one
+    ``rng.random(ttf.shape)`` block exactly as the reference does, just
+    into a reused buffer.  (``random`` still pays one transient
+    ``argsort`` allocation — NumPy's argsort has no ``out=`` — which the
+    allocation-guard test bounds explicitly.)
+    """
+    n_labels = ttf.shape[1]
+    if tie_policy == "first":
+        order = np.broadcast_to(np.arange(n_labels, dtype=np.int64), ttf.shape)
+    elif tie_policy == "last":
+        order = np.broadcast_to(
+            np.arange(n_labels - 1, -1, -1, dtype=np.int64), ttf.shape
+        )
+    elif tie_policy == "random":
+        uniforms = scratch.buf("select_uniforms", ttf.shape, np.float64)
+        rng.random(out=uniforms)
+        order = np.argsort(uniforms, axis=1)
+    else:
+        raise DataError(f"unknown tie policy {tie_policy!r}")
+    if np.issubdtype(ttf.dtype, np.floating):
+        # Mirror the reference float-key construction op for op:
+        # big * (1.0 + order / (10 * n_labels)) where the TTF is +inf.
+        big = np.float64(1e300)
+        tie_keys = scratch.buf("select_tie_keys", ttf.shape, np.float64)
+        np.divide(order, 10.0 * n_labels, out=tie_keys)
+        np.add(tie_keys, 1.0, out=tie_keys)
+        np.multiply(tie_keys, big, out=tie_keys)
+        infinite = scratch.buf("select_inf_mask", ttf.shape, np.bool_)
+        np.isinf(ttf, out=infinite)
+        keys = scratch.buf("select_float_keys", ttf.shape, np.float64)
+        np.copyto(keys, ttf)
+        np.copyto(keys, tie_keys, where=infinite)
+    else:
+        # Keys inherit the TTF's integer dtype (the caller guarantees
+        # ``ttf * n_labels + order`` fits it); the values — and thus the
+        # argmin winners — match the reference's int64 keys exactly.
+        keys = scratch.buf("select_int_keys", ttf.shape, ttf.dtype)
+        np.multiply(ttf, ttf.dtype.type(n_labels), out=keys)
+        np.add(keys, order, out=keys)
+    np.argmin(keys, axis=1, out=out)
+    return out

@@ -160,6 +160,41 @@ def lambda_codes_lut(
     return table[index]
 
 
+def lambda_codes_lut_into(
+    quantized_energy: np.ndarray,
+    table: np.ndarray,
+    config: RSUConfig,
+    out: np.ndarray,
+    row_min: np.ndarray,
+) -> np.ndarray:
+    """Fused :func:`lambda_codes_lut`: gather through preallocated buffers.
+
+    ``table`` is the :func:`conversion_lut` for the target temperature
+    (hoisted by the caller so one sweep fetches it once, not once per
+    colour class); ``row_min`` is an int64 ``(n_sites, 1)`` buffer for
+    the decay-rate-scaling row minima.  **Mutates** ``quantized_energy``
+    in place when ``config.scaling`` (the scaled index replaces the raw
+    one — callers on the fused path own that buffer and are done with
+    it).  Bit-identical to :func:`lambda_codes_lut` by construction:
+    scaling is the same integer index shift, the gather reads the same
+    table.
+
+    Unlike :func:`lambda_codes_lut` there is no explicit range scan:
+    the caller guarantees energies on the ``Energy_bits`` grid (the
+    :meth:`~repro.core.energy.EnergyStage.quantize_into` contract), and
+    the gather's own bounds checking still raises on any index at or
+    beyond the table size.
+    """
+    index = quantized_energy
+    if config.scaling:
+        np.amin(index, axis=1, keepdims=True, out=row_min)
+        np.subtract(index, row_min, out=index)
+    # Fancy gather + copy beats np.take(..., out=out) here: the mapiter
+    # fast path more than pays for the transient gather result.
+    np.copyto(out, table[index])
+    return out
+
+
 def boundary_table(temperature: float, config: RSUConfig) -> np.ndarray:
     """Energy boundaries for the comparison-based conversion.
 

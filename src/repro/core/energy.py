@@ -53,6 +53,23 @@ class EnergyStage:
         return quantize_to_bits(np.asarray(energies, dtype=np.float64),
                                 self.energy_bits, self.full_scale)
 
+    def quantize_into(
+        self, energies: np.ndarray, out: np.ndarray, work: np.ndarray
+    ) -> np.ndarray:
+        """Allocation-free :meth:`quantize` for the fused sweep kernel.
+
+        ``work`` is a float64 buffer of the same shape as ``energies``
+        (left holding the clipped grid values); ``out`` receives the
+        int64 result.  Bit-identical to :meth:`quantize`: the same
+        scale-round-clamp chain, run in place.
+        """
+        top = self.grid_max
+        np.multiply(energies, top / self.full_scale, out=work)
+        np.rint(work, out=work)
+        np.clip(work, 0, top, out=work)
+        np.copyto(out, work, casting="unsafe")
+        return out
+
     def quantized_temperature(self, temperature: float) -> float:
         """Convert a raw-unit temperature to grid units.
 

@@ -16,6 +16,8 @@ Two physical effects the paper discusses qualitatively:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.params import RSUConfig
@@ -110,7 +112,7 @@ class NoisyTTFSampler(TTFSampler):
         return corrupted.astype(np.int64)
 
 
-def expected_spurious_rate(config: RSUConfig, replicas: int = None) -> float:
+def expected_spurious_rate(config: RSUConfig, replicas: Optional[int] = None) -> float:
     """Per-evaluation spurious-sample probability of a replica design.
 
     With ``replicas`` RET-network sets cycling, a network rests
@@ -122,6 +124,6 @@ def expected_spurious_rate(config: RSUConfig, replicas: int = None) -> float:
     return residual_excitation_probability(config, replicas)
 
 
-def meets_residual_budget(config: RSUConfig, replicas: int = None) -> bool:
+def meets_residual_budget(config: RSUConfig, replicas: Optional[int] = None) -> bool:
     """Whether a replica count meets the paper's 99.6% quiet target."""
     return expected_spurious_rate(config, replicas) <= RESIDUAL_BUDGET + 1e-12

@@ -6,18 +6,38 @@ with bit-accurate RSU-G semantics: quantize the energy
 (``Lambda_bits`` with optional scaling / cut-off / 2^n approximation),
 draw a binned exponential TTF (``Time_bits``, ``Truncation``) per
 label, and select the first label to fire.
+
+Two equivalent sampling paths exist: the reference :meth:`~SamplerBackend.sample`
+(allocates its intermediates, the oracle for regressions) and the fused
+:meth:`~SamplerBackend.sample_into` used by the sweep kernel, which
+chains quantize -> LUT gather -> TTF -> first-to-fire through reusable
+workspace buffers.  Both are byte-identical, including RNG consumption.
 """
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
 
 from repro.core import convert
-from repro.core.base import SamplerBackend, select_first_to_fire
-from repro.core.convert import lambda_codes, lambda_codes_lut
+from repro.core.base import (
+    SamplerBackend,
+    SampleScratch,
+    select_first_to_fire,
+    select_first_to_fire_into,
+)
+from repro.core.convert import (
+    conversion_lut,
+    lambda_codes,
+    lambda_codes_lut,
+    lambda_codes_lut_into,
+)
 from repro.core.energy import EnergyStage
 from repro.core.params import RSUConfig, legacy_design_config, new_design_config
 from repro.core.ttf import TTFSampler
+from repro.util.errors import DataError
+from repro.util.validation import check_positive
 
 
 class RSUGSampler(SamplerBackend):
@@ -50,14 +70,34 @@ class RSUGSampler(SamplerBackend):
         config: RSUConfig,
         energy_full_scale: float,
         rng: np.random.Generator,
-        ttf_sampler: TTFSampler = None,
-        use_lut: bool = None,
+        ttf_sampler: Optional[TTFSampler] = None,
+        use_lut: Optional[bool] = None,
     ):
         self.config = config
         self.energy_stage = EnergyStage(config.energy_bits, energy_full_scale)
         self._ttf = ttf_sampler if ttf_sampler is not None else TTFSampler(config, rng)
         self._rng = rng
         self.use_lut = use_lut
+        # The fused path may only shortcut the TTF stage when the ideal
+        # sampler semantics apply; a replacement stage (noise injection,
+        # fault models) overriding ``sample`` must keep its own path.
+        self._ttf_fusable = type(self._ttf).sample is TTFSampler.sample
+        # Per-(temperature, lut-switch) stage constants, hoisted out of
+        # the per-colour-class loop: one annealing step touches the
+        # quantized temperature and conversion table twice (once per
+        # checkerboard class) with identical values.
+        self._stage_cache: Optional[Tuple[float, bool, float, Optional[np.ndarray]]] = None
+
+    def _stage_constants(self, temperature: float) -> Tuple[float, Optional[np.ndarray]]:
+        """(grid temperature, conversion table or None) for this call."""
+        lut = self.use_lut if self.use_lut is not None else convert.lut_enabled()
+        cached = self._stage_cache
+        if cached is not None and cached[0] == temperature and cached[1] == lut:
+            return cached[2], cached[3]
+        t_grid = self.energy_stage.quantized_temperature(temperature)
+        table = conversion_lut(t_grid, self.config) if lut else None
+        self._stage_cache = (temperature, lut, t_grid, table)
+        return t_grid, table
 
     def codes_for(self, energies: np.ndarray, temperature: float) -> np.ndarray:
         """Decay-rate codes the unit would use (exposed for analysis)."""
@@ -72,6 +112,56 @@ class RSUGSampler(SamplerBackend):
         codes = self.codes_for(energies, temperature)
         ttf = self._ttf.sample(codes)
         return select_first_to_fire(ttf, self.config.tie_policy, self._rng)
+
+    def sample_into(
+        self,
+        energies: np.ndarray,
+        temperature: float,
+        out: np.ndarray,
+        scratch: SampleScratch,
+    ) -> np.ndarray:
+        """Fused RSU pipeline through workspace buffers (byte-identical).
+
+        quantize -> (LUT gather | direct conversion) -> TTF -> select,
+        with zero steady-state allocations on the default LUT path.  The
+        direct (``use_lut`` off) conversion keeps calling
+        :func:`lambda_codes` — it exists for A/B timing, not speed — and
+        a replaced TTF stage (e.g. noise injection) falls back to the
+        reference path wholesale so its semantics are preserved.
+        """
+        if not self._ttf_fusable:
+            return super().sample_into(energies, temperature, out, scratch)
+        if energies.ndim != 2 or energies.shape[1] < 1 or energies.shape[0] < 1:
+            raise DataError(
+                f"energies must be (n_sites, n_labels), got shape {energies.shape}"
+            )
+        check_positive("temperature", temperature)
+        temperature = float(temperature)
+        t_grid, table = self._stage_constants(temperature)
+        shape = energies.shape
+        work = scratch.buf("rsu_quantize_work", shape, np.float64)
+        quantized = scratch.buf("rsu_quantized", shape, np.int64)
+        self.energy_stage.quantize_into(energies, quantized, work)
+        codes = scratch.buf("rsu_codes", shape, np.int64)
+        if table is not None:
+            row_min = scratch.buf("rsu_row_min", (shape[0], 1), np.int64)
+            lambda_codes_lut_into(quantized, table, self.config, codes, row_min)
+        else:
+            np.copyto(codes, lambda_codes(quantized, t_grid, self.config))
+        if self.config.float_time:
+            ttf_dtype = np.float64
+        else:
+            # Bins and selection keys are tiny integers; run the integer
+            # stages in int32 when ``ttf * n_labels + order`` provably
+            # fits — half the memory traffic, identical values, so the
+            # selected labels are unchanged.
+            key_bound = (self.config.time_bins + 2 + 1) * shape[1]
+            ttf_dtype = np.int32 if key_bound < 2**31 else np.int64
+        ttf = scratch.buf("rsu_ttf", shape, ttf_dtype)
+        self._ttf.sample_into(codes, ttf, scratch)
+        return select_first_to_fire_into(
+            ttf, self.config.tie_policy, self._rng, out, scratch
+        )
 
 
 class NewRSUG(RSUGSampler):

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import SamplerBackend
+from repro.core.base import SamplerBackend, SampleScratch
+from repro.util.errors import DataError
+from repro.util.validation import check_positive
 
 
 class SoftwareSampler(SamplerBackend):
@@ -27,6 +29,39 @@ class SoftwareSampler(SamplerBackend):
         scores = -energies / temperature + gumbel
         return np.argmax(scores, axis=1)
 
+    def sample_into(
+        self,
+        energies: np.ndarray,
+        temperature: float,
+        out: np.ndarray,
+        scratch: SampleScratch,
+    ) -> np.ndarray:
+        """Fused Gumbel-max draw: same labels and RNG stream, no allocs.
+
+        The uniform block is prefetched into a reused buffer and the
+        whole ``-log(-log1p(-u))`` / score chain runs in place, op for
+        op the reference formula, so the result is byte-identical to
+        :meth:`sample`.
+        """
+        if energies.ndim != 2 or energies.shape[1] < 1 or energies.shape[0] < 1:
+            raise DataError(
+                f"energies must be (n_sites, n_labels), got shape {energies.shape}"
+            )
+        check_positive("temperature", temperature)
+        gumbel = scratch.buf("gumbel", energies.shape, np.float64)
+        self._rng.random(out=gumbel)
+        np.negative(gumbel, out=gumbel)
+        np.log1p(gumbel, out=gumbel)
+        np.negative(gumbel, out=gumbel)
+        np.log(gumbel, out=gumbel)
+        np.negative(gumbel, out=gumbel)
+        scores = scratch.buf("gumbel_scores", energies.shape, np.float64)
+        np.divide(energies, float(temperature), out=scores)
+        np.negative(scores, out=scores)
+        np.add(scores, gumbel, out=scores)
+        np.argmax(scores, axis=1, out=out)
+        return out
+
 
 class GreedySampler(SamplerBackend):
     """Deterministic argmin-energy backend (ICM); a testing reference.
@@ -39,3 +74,19 @@ class GreedySampler(SamplerBackend):
 
     def _sample_batch(self, energies: np.ndarray, temperature: float) -> np.ndarray:
         return np.argmin(energies, axis=1)
+
+    def sample_into(
+        self,
+        energies: np.ndarray,
+        temperature: float,
+        out: np.ndarray,
+        scratch: SampleScratch,
+    ) -> np.ndarray:
+        """Allocation-free ICM step (argmin straight into ``out``)."""
+        if energies.ndim != 2 or energies.shape[1] < 1 or energies.shape[0] < 1:
+            raise DataError(
+                f"energies must be (n_sites, n_labels), got shape {energies.shape}"
+            )
+        check_positive("temperature", temperature)
+        np.argmin(energies, axis=1, out=out)
+        return out

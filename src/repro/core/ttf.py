@@ -13,6 +13,7 @@ import math
 
 import numpy as np
 
+from repro.core.base import SampleScratch
 from repro.core.params import RSUConfig
 from repro.util.errors import ConfigError
 
@@ -57,28 +58,90 @@ class TTFSampler:
         untruncated (float64) — the idealized IEEE-float time stage.
         """
         codes = np.asarray(codes)
-        if np.any(codes < 0):
+        if codes.size and codes.min() < 0:
             raise ConfigError("decay-rate codes must be non-negative")
         cfg = self.config
-        rates = codes.astype(np.float64) * cfg.lambda0_per_bin
+        # One uniform per lane, active or not: the RET entropy stream is
+        # consumed at a fixed per-call rate so every downstream consumer
+        # (and the fused kernel) stays aligned with this reference.
         uniforms = self._rng.random(codes.shape)
         active = codes > 0
-        # Inverse-CDF exponential draw, in units of time bins.
-        with np.errstate(divide="ignore"):
-            continuous = -np.log1p(-uniforms[active]) / rates[active]
+        # Inverse-CDF exponential draw, in units of time bins.  All
+        # float work happens on the compressed active lanes only; the
+        # cut-off lanes never touch log/divide/ceil.
+        rates = codes[active].astype(np.float64) * cfg.lambda0_per_bin
+        continuous = np.log1p(-uniforms[active])
+        np.negative(continuous, out=continuous)
+        continuous /= rates
         if cfg.float_time:
             ttf = np.full(codes.shape, np.inf)
             ttf[active] = continuous
             return ttf
-        ttf = np.full(codes.shape, float(cutoff_bin(cfg)))
-        bins = np.ceil(continuous)
-        late = bins > cfg.time_bins
+        bins = np.ceil(continuous, out=continuous)
         if cfg.clamp_to_tmax:
-            bins[late] = cfg.time_bins
+            np.minimum(bins, cfg.time_bins, out=bins)
         else:
-            bins[late] = no_sample_bin(cfg)
+            bins[bins > cfg.time_bins] = no_sample_bin(cfg)
+        # Build the output int64 directly: inactive lanes are written
+        # once with the cut-off sentinel, active lanes once with their
+        # bin — no second full-array float->int conversion pass.
+        ttf = np.full(codes.shape, cutoff_bin(cfg), dtype=np.int64)
         ttf[active] = bins
-        return ttf.astype(np.int64)
+        return ttf
+
+    def sample_into(
+        self, codes: np.ndarray, out: np.ndarray, scratch: SampleScratch
+    ) -> np.ndarray:
+        """Fused :meth:`sample`: same bins and RNG stream, reused buffers.
+
+        The entropy block is prefetched straight into a reusable buffer
+        (``rng.random(out=...)`` draws the identical variates in the
+        identical order as ``rng.random(shape)``), the active lanes are
+        compressed into workspace views with ``np.compress(..., out=)``
+        (so cut-off lanes do no transcendental work — typically >80 % of
+        lanes late in an annealed solve), and the results scatter back
+        with ``np.place``.  Steady-state calls perform zero allocations.
+        """
+        if codes.size and codes.min() < 0:
+            raise ConfigError("decay-rate codes must be non-negative")
+        cfg = self.config
+        uniforms = scratch.buf("ttf_uniforms", codes.shape, np.float64)
+        self._rng.random(out=uniforms)
+        active = scratch.buf("ttf_active_mask", codes.shape, np.bool_)
+        np.greater(codes, 0, out=active)
+        n_active = int(np.count_nonzero(active))
+        mask_flat = active.reshape(-1)
+        # Compressed views over preallocated max-size pools: only the
+        # first n_active lanes of each are touched.
+        size = codes.size
+        rates = scratch.buf("ttf_rates_pool", (size,), np.float64)[:n_active]
+        work = scratch.buf("ttf_work_pool", (size,), np.float64)[:n_active]
+        active_codes = scratch.buf("ttf_codes_pool", (size,), np.int64)[:n_active]
+        np.compress(mask_flat, codes.reshape(-1), out=active_codes)
+        np.multiply(active_codes, cfg.lambda0_per_bin, out=rates)
+        np.compress(mask_flat, uniforms.reshape(-1), out=work)
+        # work = -log1p(-u) / rate: the same op chain, op for op, as the
+        # reference's compressed computation.
+        np.negative(work, out=work)
+        np.log1p(work, out=work)
+        np.negative(work, out=work)
+        np.divide(work, rates, out=work)
+        if cfg.float_time:
+            out.fill(np.inf)
+            np.place(out, active, work)
+            return out
+        np.ceil(work, out=work)
+        if cfg.clamp_to_tmax:
+            np.minimum(work, cfg.time_bins, out=work)
+        else:
+            late = scratch.buf("ttf_late_pool", (size,), np.bool_)[:n_active]
+            np.greater(work, cfg.time_bins, out=late)
+            work[late] = float(no_sample_bin(cfg))
+        bins = scratch.buf("ttf_bins_pool", (size,), out.dtype)[:n_active]
+        np.copyto(bins, work, casting="unsafe")
+        out.fill(cutoff_bin(cfg))
+        np.place(out, active, bins)
+        return out
 
     def truncation_probability(self, code: int) -> float:
         """P(no photon within the window) for a given decay-rate code."""

@@ -7,6 +7,7 @@ from repro.mrf.annealing import (
     Schedule,
     geometric_for_span,
 )
+from repro.mrf.kernel import SweepWorkspace
 from repro.mrf.model import GridMRF, checkerboard_masks, coloring_masks
 from repro.mrf.solver import MCMCSolver, SolveResult
 from repro.mrf.tempering import ParallelTempering, TemperingResult, geometric_ladder
@@ -22,6 +23,7 @@ __all__ = [
     "coloring_masks",
     "MCMCSolver",
     "SolveResult",
+    "SweepWorkspace",
     "ParallelTempering",
     "TemperingResult",
     "geometric_ladder",

@@ -10,7 +10,7 @@ and that a sampler backend actually targets the Boltzmann distribution
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -41,7 +41,7 @@ def autocorrelation(series: np.ndarray, max_lag: int) -> np.ndarray:
     )
 
 
-def effective_sample_size(series: np.ndarray, max_lag: int = None) -> float:
+def effective_sample_size(series: np.ndarray, max_lag: Optional[int] = None) -> float:
     """ESS via the initial-positive-sequence estimator."""
     trace = np.asarray(series, dtype=np.float64)
     n = trace.size

@@ -1,0 +1,214 @@
+"""Fused, allocation-free sweep kernel for the chromatic Gibbs loop.
+
+The paper's performance argument (Sec. V) is that an array of RSU-G
+units evaluates one whole colour class in parallel each cycle.  The
+software analogue is a fused batch kernel: everything that is constant
+for the run — the checkerboard masks, the neighbour topology, the unary
+gather, every intermediate buffer — is computed or allocated exactly
+once, and each half-sweep then flows through preallocated workspaces
+with ``out=`` ufuncs.
+
+Compared with the reference path
+(:meth:`~repro.mrf.model.GridMRF.site_energies` +
+:meth:`~repro.core.base.SamplerBackend.sample`), which rebuilds the
+padded label grid, restacks the neighbour views, regathers the constant
+unary block and allocates ~10 full-size arrays per colour class per
+sweep, the kernel's only steady-state allocations are the transient
+pairwise/LUT row-gather results (fancy indexing's fast path beats any
+buffer-reusing gather — see :meth:`SweepWorkspace.class_energies`), and
+the downstream sampling stages work on compressed active lanes instead
+of full arrays.
+
+Byte-identity with the reference path — same labels, same energy
+history, same consumption of every RNG stream — is a hard contract,
+enforced by ``tests/test_mrf_kernel.py`` across backends x tie policies
+x ``float_time`` x LUT on/off.  The solver keeps the reference path
+alive under ``use_fused=False`` as the oracle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import SamplerBackend, SampleScratch
+from repro.mrf.model import GridMRF
+from repro.util.errors import DataError
+
+
+class _ClassPlan:
+    """Precomputed geometry and buffers for one colour class."""
+
+    __slots__ = (
+        "site_flat",
+        "pad_flat",
+        "gather_idx",
+        "unary",
+        "neighbors",
+        "pair",
+        "energies",
+        "labels_out",
+        "current",
+        "scratch",
+    )
+
+    def __init__(self, model: GridMRF, mask: np.ndarray, padded_width: int):
+        rows, cols = np.nonzero(mask)  # raster order == boolean-mask order
+        n = rows.size
+        m = model.n_labels
+        conn = model.connectivity
+        self.site_flat = rows * model.shape[1] + cols
+        center = (rows + 1) * padded_width + (cols + 1)
+        self.pad_flat = center
+        # Flat offsets into the padded grid, in the exact stacking order
+        # of GridMRF._neighbor_labels: up, down, left, right, then the
+        # diagonals for 8-connectivity.
+        offsets = [-padded_width, padded_width, -1, 1]
+        if conn == 8:
+            offsets += [
+                -padded_width - 1,
+                -padded_width + 1,
+                padded_width - 1,
+                padded_width + 1,
+            ]
+        self.gather_idx = np.empty((conn, n), dtype=np.int64)
+        for d, offset in enumerate(offsets):
+            np.add(center, offset, out=self.gather_idx[d])
+        # The unary block of this class never changes: gather it once.
+        self.unary = np.ascontiguousarray(model.unary[mask])
+        self.neighbors = np.empty((conn, n), dtype=np.int64)
+        self.pair = np.empty((n, m), dtype=np.float64)
+        self.energies = np.empty((n, m), dtype=np.float64)
+        self.labels_out = np.empty(n, dtype=np.intp)
+        self.current = np.empty(n, dtype=np.int64)
+        self.scratch = SampleScratch()
+
+
+class SweepWorkspace:
+    """Reusable state for fused checkerboard sweeps over one MRF.
+
+    Created once per :meth:`repro.mrf.solver.MCMCSolver.run`; owns the
+    persistent sentinel-padded label grid, the per-colour-class flat
+    neighbour-gather indices, the constant unary gathers, and every
+    reusable output buffer (energies, quantized codes, lambda codes, TTF
+    bins, selection keys — the latter via each class's
+    :class:`~repro.core.base.SampleScratch`).
+
+    The padded grid mirrors the bound label array; :meth:`sweep` keeps
+    it in sync incrementally (scattering only the resampled sites), and
+    :meth:`bind` resynchronizes it wholesale — the solver calls that
+    once per run and after every user callback, since a callback may
+    mutate the labels it is handed.
+    """
+
+    def __init__(self, model: GridMRF, masks: Sequence[np.ndarray]):
+        self.model = model
+        h, w = model.shape
+        total = 0
+        for mask in masks:
+            if mask.shape != model.shape:
+                raise DataError(
+                    f"mask shape {mask.shape} != grid shape {model.shape}"
+                )
+            total += int(mask.sum())
+        if total != h * w:
+            raise DataError("colour classes must partition the grid")
+        self._padded = np.full((h + 2, w + 2), model.n_labels, dtype=np.int64)
+        self._padded_flat = self._padded.reshape(-1)
+        self._interior = self._padded[1:-1, 1:-1]
+        self._classes: List[_ClassPlan] = [
+            _ClassPlan(model, mask, w + 2) for mask in masks
+        ]
+        self._pairwise = model.padded_pairwise
+        self._weight = model.weight
+        self._bound: Optional[np.ndarray] = None
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of preallocated workspace (diagnostics/tests)."""
+        per_class = sum(
+            sum(getattr(plan, name).nbytes for name in (
+                "site_flat", "pad_flat", "gather_idx", "unary", "neighbors",
+                "pair", "energies", "labels_out", "current",
+            )) + plan.scratch.nbytes
+            for plan in self._classes
+        )
+        return per_class + self._padded.nbytes
+
+    def bind(self, labels: np.ndarray) -> None:
+        """Synchronize the padded mirror with ``labels`` (full copy)."""
+        if labels.shape != self.model.shape:
+            raise DataError(
+                f"labels shape {labels.shape} != grid shape {self.model.shape}"
+            )
+        if not labels.flags.c_contiguous:
+            # The scatter writes through a flat view; a non-contiguous
+            # grid would silently reshape-copy instead of aliasing.
+            raise DataError("fused sweeps require a C-contiguous label grid")
+        np.copyto(self._interior, labels)
+        self._bound = labels
+
+    def class_energies(self, index: int) -> np.ndarray:
+        """Fill and return the energy buffer of colour class ``index``.
+
+        Bit-identical to ``model.site_energies(labels, mask)``: the
+        per-direction row gathers are accumulated in the same sequential
+        order as the reference's ``sum(axis=0)`` over the
+        ``(connectivity, N, M)`` stack (NumPy reduces the leading axis
+        slice by slice), and ``unary + weight * pair`` commutes exactly
+        in IEEE arithmetic.
+
+        The row gathers use fancy indexing, not ``np.take(..., out=)``:
+        NumPy's mapiter fast path makes ``pairwise[rows]`` about 3x
+        faster than ``take`` with an output buffer, which outweighs
+        reusing a ``(connectivity, N, M)`` stack.  The transient
+        ``(N, M)`` gather results are the kernel's only steady-state
+        allocations.
+        """
+        plan = self._classes[index]
+        np.take(self._padded_flat, plan.gather_idx, out=plan.neighbors)
+        np.add(
+            self._pairwise[plan.neighbors[0]],
+            self._pairwise[plan.neighbors[1]],
+            out=plan.pair,
+        )
+        for d in range(2, plan.neighbors.shape[0]):
+            plan.pair += self._pairwise[plan.neighbors[d]]
+        np.multiply(plan.pair, self._weight, out=plan.energies)
+        plan.energies += plan.unary
+        return plan.energies
+
+    def sweep(
+        self,
+        labels: np.ndarray,
+        temperature: float,
+        sampler: SamplerBackend,
+        wants_current: bool = False,
+    ) -> np.ndarray:
+        """One full fused checkerboard sweep, in place; returns ``labels``.
+
+        Mirrors :meth:`repro.mrf.solver.MCMCSolver.sweep` exactly:
+        colour classes in order, each resampled from energies that see
+        every earlier class's fresh labels.  Backends that need the
+        sites' current labels (``wants_current``) go through
+        ``sample_given_current`` on the workspace energy buffer; all
+        others take the fused ``sample_into`` path.
+        """
+        if labels is not self._bound:
+            self.bind(labels)
+        labels_flat = labels.reshape(-1)
+        for index, plan in enumerate(self._classes):
+            energies = self.class_energies(index)
+            if wants_current:
+                np.take(labels_flat, plan.site_flat, out=plan.current)
+                new_labels = sampler.sample_given_current(
+                    energies, temperature, plan.current
+                )
+            else:
+                new_labels = sampler.sample_into(
+                    energies, temperature, plan.labels_out, plan.scratch
+                )
+            labels_flat[plan.site_flat] = new_labels
+            self._padded_flat[plan.pad_flat] = new_labels
+        return labels

@@ -78,6 +78,18 @@ class GridMRF:
         """Number of labels M."""
         return self.unary.shape[2]
 
+    @property
+    def padded_pairwise(self) -> np.ndarray:
+        """``(M + 1, M)`` pairwise table with the sentinel row.
+
+        Row ``M`` is the "missing neighbour" row of zeros, so a gather
+        indexed by a label grid padded with sentinel ``M`` contributes
+        nothing at the border.  Shared with the fused sweep kernel
+        (:mod:`repro.mrf.kernel`), which indexes it per direction
+        instead of materializing the ``(connectivity, N, M)`` stack.
+        """
+        return self._padded_pairwise
+
     def max_energy(self) -> float:
         """Upper bound on any site energy; used as the RSU full scale."""
         return float(

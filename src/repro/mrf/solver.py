@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.base import SamplerBackend
 from repro.mrf.annealing import Schedule
+from repro.mrf.kernel import SweepWorkspace
 from repro.mrf.model import GridMRF, coloring_masks
 from repro.util.errors import ConfigError
 
@@ -64,6 +65,12 @@ class MCMCSolver:
     track_energy:
         Record the total energy after every sweep.  Costs one full
         energy evaluation per iteration; disable for benchmarks.
+    use_fused:
+        Run :meth:`run`'s sweeps through the fused allocation-free
+        kernel (:class:`repro.mrf.kernel.SweepWorkspace`, the default).
+        ``False`` keeps the reference per-sweep pipeline — byte-identical
+        by contract (``tests/test_mrf_kernel.py`` enforces it), retained
+        as the oracle and for A/B benchmarking.
     """
 
     def __init__(
@@ -74,16 +81,26 @@ class MCMCSolver:
         init: object = "unary",
         seed: int = 0,
         track_energy: bool = True,
+        use_fused: bool = True,
     ):
         self.model = model
         self.sampler = sampler
         self.schedule = schedule
         self.track_energy = track_energy
+        self.use_fused = use_fused
         self._rng = np.random.default_rng(seed)
         self._masks = coloring_masks(model.shape, model.connectivity)
         self._init = init
+        self._workspace: Optional[SweepWorkspace] = None
         # Resolved once: sweep() runs twice per iteration on the hot path.
         self._wants_current = bool(getattr(sampler, "wants_current_labels", False))
+
+    @property
+    def workspace(self) -> SweepWorkspace:
+        """The solver's fused sweep workspace (created on first use)."""
+        if self._workspace is None:
+            self._workspace = SweepWorkspace(self.model, self._masks)
+        return self._workspace
 
     def initial_labels(self) -> np.ndarray:
         """Build the starting labeling according to ``init``."""
@@ -136,9 +153,15 @@ class MCMCSolver:
             raise ConfigError(f"iterations must be >= 1, got {iterations}")
         labels = self.initial_labels()
         result = SolveResult(labels=labels)
+        workspace = self.workspace if self.use_fused else None
+        if workspace is not None:
+            workspace.bind(labels)
         for k in range(iterations):
             temperature = self.schedule.temperature(k)
-            self.sweep(labels, temperature)
+            if workspace is not None:
+                workspace.sweep(labels, temperature, self.sampler, self._wants_current)
+            else:
+                self.sweep(labels, temperature)
             result.temperature_history.append(temperature)
             if self.track_energy:
                 result.energy_history.append(self.model.total_energy(labels))
@@ -146,5 +169,9 @@ class MCMCSolver:
                 result.energy_history.append(float("nan"))
             if callback is not None:
                 callback(k, labels, temperature)
+                if workspace is not None:
+                    # The callback may have mutated the labels it was
+                    # handed; resynchronize the padded mirror.
+                    workspace.bind(labels)
         result.labels = labels
         return result
