@@ -22,6 +22,10 @@ Three lanes:
   sweep kernel (the solver default).  Labels are asserted byte-identical
   before either time is recorded, and the fused time is also reported
   against the PR 2 recorded ``lambda_lut.lut_s`` baseline (2.7856 s).
+* ``batched_chains`` — a K=8 parallel-tempering ladder run through the
+  batched ``(K, H, W)`` chain workspace vs K sequential fused replicas,
+  byte-identity (labels, energy histories, swap decisions) asserted
+  first.
 
 Every lane asserts byte-identical results across its variants before
 recording a time.  Run directly (``python benchmarks/test_bench_perf.py``)
@@ -50,6 +54,7 @@ from repro.core.params import new_design_config
 from repro.data.stereo_data import load_stereo
 from repro.mrf.annealing import geometric_for_span
 from repro.mrf.solver import MCMCSolver
+from repro.mrf.tempering import ParallelTempering, geometric_ladder
 from repro.experiments import QUICK
 from repro.experiments.ablations import run as run_ablations
 from repro.experiments.engine import ExperimentEngine, use_engine
@@ -208,6 +213,67 @@ def bench_sweep_kernel(profile):
     }
 
 
+#: Replicas in the batched-chains lane (the paper's multi-unit layouts
+#: run ladders of this order; K=8 is the ISSUE's acceptance workload).
+TEMPERING_CHAINS = 8
+
+
+def bench_batched_chains(profile):
+    """K=8 replica-tempering ladder: batched ``(K, H, W)`` workspace vs
+    K sequential fused solves.
+
+    Byte-identity (labels, energy histories, swap decisions) is asserted
+    before either time is recorded.  The ladder runs at half the sweep
+    scale: replica grids in real tempering workloads are small, and that
+    is exactly the regime where batching wins — per-call NumPy dispatch
+    overhead dominates small grids, while on large grids the K×-bigger
+    working set falls out of cache and per-chain execution is at parity
+    or better (see docs/performance.md).
+    """
+    scale = profile.sweep_scale * 0.5
+    dataset = load_stereo("poster", scale=scale)
+    params = StereoParams()
+    model = build_stereo_mrf(dataset, params)
+    sweeps = profile.sweep_iterations
+    ladder = geometric_ladder(0.05, 0.6, TEMPERING_CHAINS)
+
+    def run(use_batched):
+        tempering = ParallelTempering(
+            model,
+            lambda index: make_backend("rsu", model.max_energy(),
+                                       seed=100 + index,
+                                       config=new_design_config()),
+            ladder,
+            swap_interval=2,
+            seed=3,
+            use_batched=use_batched,
+        )
+        return tempering.run(sweeps)
+
+    # Byte-identity first, then time (best of two runs per variant).
+    batched = run(True)
+    sequential = run(False)
+    assert np.array_equal(batched.labels, sequential.labels), (
+        "batched tempering diverged from sequential replicas"
+    )
+    assert batched.energy_history == sequential.energy_history
+    assert (batched.swap_attempts, batched.swaps_accepted) == (
+        sequential.swap_attempts, sequential.swaps_accepted
+    )
+    batched_s = min(_timed(lambda: run(True))[0] for _ in range(2))
+    sequential_s = min(_timed(lambda: run(False))[0] for _ in range(2))
+
+    return {
+        "solve": f"stereo poster scale={scale} tempering "
+                 f"K={TEMPERING_CHAINS} sweeps={sweeps} swap_interval=2",
+        "chains": TEMPERING_CHAINS,
+        "sequential_s": round(sequential_s, 4),
+        "batched_s": round(batched_s, 4),
+        "speedup_batched_vs_sequential": round(sequential_s / batched_s, 2),
+        "results_byte_identical": True,
+    }
+
+
 def run_perf_baseline(profile_name: str = None) -> dict:
     """Run every lane and write ``BENCH_perf.json``; returns the payload."""
     profile_name = profile_name or os.environ.get("BENCH_PERF_PROFILE", "small")
@@ -229,6 +295,7 @@ def run_perf_baseline(profile_name: str = None) -> dict:
         # up process pools whose teardown can steal CPU from whatever
         # is timed next (painful on single-core CI hosts).
         "sweep_kernel": bench_sweep_kernel(profile),
+        "batched_chains": bench_batched_chains(profile),
         "lambda_lut": bench_lambda_lut(profile),
         "registry_engine": bench_registry_engine(profile),
         "sweep_engine": bench_sweep_engine(profile),
@@ -247,6 +314,8 @@ def test_perf_baseline():
     assert payload["lambda_lut"]["speedup_lut_vs_direct"] > 0
     assert payload["sweep_kernel"]["results_byte_identical"]
     assert payload["sweep_kernel"]["speedup_fused_vs_reference"] > 0
+    assert payload["batched_chains"]["results_byte_identical"]
+    assert payload["batched_chains"]["speedup_batched_vs_sequential"] > 0
 
 
 if __name__ == "__main__":

@@ -3,7 +3,9 @@
 Provides a single backend factory so applications and experiments name
 sampler backends the same way: ``software``, ``new_rsug``,
 ``prev_rsug``, ``rsu`` (custom design point), ``cdf_ideal``,
-``cdf_lfsr``, ``cdf_mt19937``, ``greedy``.
+``cdf_lfsr``, ``cdf_mt19937``, ``greedy`` — plus the shared
+single-chain/ensemble solver entry point every application driver runs
+its MCMC loop through (:func:`run_chain_solver`).
 """
 
 from __future__ import annotations
@@ -17,6 +19,10 @@ from repro.core.cdf_sampler import CDFSampler
 from repro.core.params import RSUConfig
 from repro.core.rsu import LegacyRSUG, NewRSUG, RSUGSampler
 from repro.core.software import GreedySampler, SoftwareSampler
+from repro.mrf.annealing import Schedule
+from repro.mrf.batch import EnsembleSolver
+from repro.mrf.model import GridMRF
+from repro.mrf.solver import MCMCSolver, SolveResult
 from repro.rng.lfsr import LFSR
 from repro.rng.mt19937 import MT19937
 from repro.rng.streams import LFSRBitSource, MTBitSource, NumpyBitSource
@@ -67,3 +73,45 @@ def make_backend(
         source = MTBitSource(MT19937(seed=(seed * 7919 + 1) & 0xFFFFFFFF))
         return CDFSampler(source, energy_full_scale=energy_full_scale)
     raise ConfigError(f"unknown backend kind {kind!r}; expected one of {BACKEND_KINDS}")
+
+
+def run_chain_solver(
+    model: GridMRF,
+    backend: str,
+    schedule: Schedule,
+    iterations: int,
+    seed: int = 0,
+    track_energy: bool = False,
+    chains: int = 1,
+    config: Optional[RSUConfig] = None,
+) -> SolveResult:
+    """Run the MCMC loop for an application driver, optionally batched.
+
+    ``chains == 1`` is the classic path: one :class:`MCMCSolver` with
+    one ``make_backend(...)`` sampler — bit-for-bit the result every
+    driver produced before ensembles existed.  ``chains > 1`` runs a
+    best-of-K multi-seed restart ensemble through the batched ``(K, H,
+    W)`` workspace (chain ``k`` seeds both its backend and its solver
+    with ``seed + k``, so chain 0 reproduces the single-chain run
+    exactly) and returns the lowest-energy chain's result.
+    """
+    if chains < 1:
+        raise ConfigError(f"chains must be >= 1, got {chains}")
+    full_scale = model.max_energy()
+    if chains == 1:
+        sampler = make_backend(backend, full_scale, seed=seed, config=config)
+        solver = MCMCSolver(
+            model, sampler, schedule, seed=seed, track_energy=track_energy
+        )
+        return solver.run(iterations)
+    ensemble = EnsembleSolver(
+        model,
+        lambda index: make_backend(
+            backend, full_scale, seed=seed + index, config=config
+        ),
+        schedule,
+        chains=chains,
+        seed=seed,
+        track_energy=track_energy,
+    )
+    return ensemble.run(iterations).best_result()

@@ -15,14 +15,14 @@ from typing import Optional
 
 import numpy as np
 
-from repro.apps.common import make_backend
+from repro.apps.common import run_chain_solver
 from repro.core.distance import label_distance_matrix
 from repro.core.params import RSUConfig
 from repro.data.denoise_data import DenoiseDataset, denoise_cost_volume, level_values
 from repro.metrics.denoise_metrics import label_accuracy, psnr
 from repro.mrf.annealing import geometric_for_span
 from repro.mrf.model import GridMRF
-from repro.mrf.solver import MCMCSolver, SolveResult
+from repro.mrf.solver import SolveResult
 from repro.util.errors import ConfigError
 
 
@@ -73,13 +73,15 @@ def solve_denoise(
     rsu_config: Optional[RSUConfig] = None,
     seed: int = 0,
     track_energy: bool = False,
+    chains: int = 1,
 ) -> DenoiseResult:
-    """Run the full restoration pipeline with the named backend."""
+    """Run the full restoration pipeline (``chains > 1``: best-of-K)."""
     model = build_denoise_mrf(dataset, params)
-    sampler = make_backend(backend, model.max_energy(), seed=seed, config=rsu_config)
     schedule = geometric_for_span(params.t0, params.t_final, params.iterations)
-    solver = MCMCSolver(model, sampler, schedule, seed=seed, track_energy=track_energy)
-    result = solver.run(params.iterations)
+    result = run_chain_solver(
+        model, backend, schedule, params.iterations,
+        seed=seed, track_energy=track_energy, chains=chains, config=rsu_config,
+    )
     restored = level_values(dataset.n_levels)[result.labels]
     clean = dataset.clean_image
     return DenoiseResult(

@@ -13,14 +13,14 @@ from typing import Optional
 
 import numpy as np
 
-from repro.apps.common import make_backend
+from repro.apps.common import run_chain_solver
 from repro.core.distance import vector_label_distance_matrix
 from repro.core.params import RSUConfig
 from repro.data.motion_data import FlowDataset, flow_cost_volume, flow_label_vectors
 from repro.metrics.motion_metrics import endpoint_error, flow_from_labels
 from repro.mrf.annealing import geometric_for_span
 from repro.mrf.model import GridMRF
-from repro.mrf.solver import MCMCSolver, SolveResult
+from repro.mrf.solver import SolveResult
 from repro.util.errors import ConfigError
 
 
@@ -67,13 +67,15 @@ def solve_motion(
     rsu_config: Optional[RSUConfig] = None,
     seed: int = 0,
     track_energy: bool = False,
+    chains: int = 1,
 ) -> MotionResult:
-    """Run the full motion-estimation pipeline."""
+    """Run the full motion-estimation pipeline (``chains > 1``: best-of-K)."""
     model = build_motion_mrf(dataset, params)
-    sampler = make_backend(backend, model.max_energy(), seed=seed, config=rsu_config)
     schedule = geometric_for_span(params.t0, params.t_final, params.iterations)
-    solver = MCMCSolver(model, sampler, schedule, seed=seed, track_energy=track_energy)
-    result = solver.run(params.iterations)
+    result = run_chain_solver(
+        model, backend, schedule, params.iterations,
+        seed=seed, track_energy=track_energy, chains=chains, config=rsu_config,
+    )
     vectors = flow_label_vectors(dataset.window_radius)
     flow = flow_from_labels(result.labels, vectors)
     return MotionResult(

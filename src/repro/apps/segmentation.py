@@ -14,14 +14,14 @@ from typing import Optional
 
 import numpy as np
 
-from repro.apps.common import make_backend
+from repro.apps.common import run_chain_solver
 from repro.core.distance import label_distance_matrix
 from repro.core.params import RSUConfig
 from repro.data.segmentation_data import SegmentationDataset, segmentation_cost_volume
 from repro.metrics.segmentation_metrics import bisip_metrics
 from repro.mrf.annealing import ConstantSchedule
 from repro.mrf.model import GridMRF
-from repro.mrf.solver import MCMCSolver, SolveResult
+from repro.mrf.solver import SolveResult
 from repro.util.errors import ConfigError
 
 
@@ -72,13 +72,15 @@ def solve_segmentation(
     rsu_config: Optional[RSUConfig] = None,
     seed: int = 0,
     track_energy: bool = False,
+    chains: int = 1,
 ) -> SegmentationResult:
-    """Run the full segmentation pipeline."""
+    """Run the full segmentation pipeline (``chains > 1``: best-of-K)."""
     model = build_segmentation_mrf(dataset, params)
-    sampler = make_backend(backend, model.max_energy(), seed=seed, config=rsu_config)
     schedule = ConstantSchedule(params.temperature)
-    solver = MCMCSolver(model, sampler, schedule, seed=seed, track_energy=track_energy)
-    result = solver.run(params.iterations)
+    result = run_chain_solver(
+        model, backend, schedule, params.iterations,
+        seed=seed, track_energy=track_energy, chains=chains, config=rsu_config,
+    )
     return SegmentationResult(
         dataset=dataset.name,
         backend=backend,

@@ -13,14 +13,14 @@ from typing import Optional
 
 import numpy as np
 
-from repro.apps.common import make_backend
+from repro.apps.common import run_chain_solver
 from repro.core.distance import label_distance_matrix
 from repro.core.params import RSUConfig
 from repro.data.stereo_data import StereoDataset, stereo_cost_volume
 from repro.metrics.stereo_metrics import bad_pixel_percentage, rms_error
 from repro.mrf.annealing import geometric_for_span
 from repro.mrf.model import GridMRF
-from repro.mrf.solver import MCMCSolver, SolveResult
+from repro.mrf.solver import SolveResult
 from repro.util.errors import ConfigError
 
 
@@ -71,13 +71,19 @@ def solve_stereo(
     rsu_config: Optional[RSUConfig] = None,
     seed: int = 0,
     track_energy: bool = False,
+    chains: int = 1,
 ) -> StereoResult:
-    """Run the full stereo pipeline with the named sampler backend."""
+    """Run the full stereo pipeline with the named sampler backend.
+
+    ``chains > 1`` runs a best-of-K multi-seed restart ensemble through
+    the batched chain workspace and keeps the lowest-energy chain.
+    """
     model = build_stereo_mrf(dataset, params)
-    sampler = make_backend(backend, model.max_energy(), seed=seed, config=rsu_config)
     schedule = geometric_for_span(params.t0, params.t_final, params.iterations)
-    solver = MCMCSolver(model, sampler, schedule, seed=seed, track_energy=track_energy)
-    result = solver.run(params.iterations)
+    result = run_chain_solver(
+        model, backend, schedule, params.iterations,
+        seed=seed, track_energy=track_energy, chains=chains, config=rsu_config,
+    )
     disparity = result.labels
     return StereoResult(
         dataset=dataset.name,

@@ -24,6 +24,7 @@ from repro.core.base import (
     SamplerBackend,
     SampleScratch,
     select_first_to_fire,
+    select_first_to_fire_chains_into,
     select_first_to_fire_into,
 )
 from repro.core.cdf_sampler import CDFSampler
@@ -35,9 +36,11 @@ from repro.core.convert import (
     lambda_codes_by_boundaries,
     lambda_codes_lut,
     lambda_codes_lut_into,
+    lambda_codes_lut_stacked_into,
     legacy_lut,
     lut_enabled,
     set_lut_enabled,
+    stacked_conversion_lut,
     use_lut,
 )
 from repro.core.distance import (
@@ -86,9 +89,12 @@ __all__ = [
     "SamplerBackend",
     "SampleScratch",
     "select_first_to_fire",
+    "select_first_to_fire_chains_into",
     "select_first_to_fire_into",
     "CDFSampler",
     "lambda_codes_lut_into",
+    "lambda_codes_lut_stacked_into",
+    "stacked_conversion_lut",
     "boundary_table",
     "conversion_lut",
     "conversion_memory_bits",

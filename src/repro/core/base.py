@@ -105,6 +105,34 @@ class SamplerBackend(ABC):
         out[...] = self.sample(energies, temperature)
         return out
 
+    @classmethod
+    def sample_chains_into(
+        cls,
+        samplers: "list[SamplerBackend]",
+        energies: np.ndarray,
+        temperatures,
+        out: np.ndarray,
+        scratch: SampleScratch,
+    ) -> np.ndarray:
+        """Draw labels for K stacked chains in one batched call.
+
+        ``energies`` is ``(K, n_sites, n_labels)`` with ``samplers[k]``
+        owning chain ``k``'s RNG stream and ``temperatures[k]`` its
+        temperature; labels land in the ``(K, n_sites)`` ``out``.
+
+        Contract: byte-identical to K sequential
+        ``samplers[k].sample_into(energies[k], ...)`` calls — same
+        labels, same consumption of every chain's RNG stream.  The base
+        implementation *is* that sequential loop (correct for every
+        backend, including mixed per-chain state); backends on the
+        batched sweep hot path override it to fill per-chain entropy
+        slabs and then run the elementwise math over the whole
+        ``(K * n_sites, n_labels)`` block at once.
+        """
+        for index, sampler in enumerate(samplers):
+            sampler.sample_into(energies[index], temperatures[index], out[index], scratch)
+        return out
+
 
 def select_first_to_fire(
     ttf: np.ndarray, tie_policy: str, rng: np.random.Generator
@@ -153,7 +181,7 @@ def select_first_to_fire_into(
     ``argsort`` allocation — NumPy's argsort has no ``out=`` — which the
     allocation-guard test bounds explicitly.)
     """
-    n_labels = ttf.shape[1]
+    n_labels = ttf.shape[-1]
     if tie_policy == "first":
         order = np.broadcast_to(np.arange(n_labels, dtype=np.int64), ttf.shape)
     elif tie_policy == "last":
@@ -163,9 +191,23 @@ def select_first_to_fire_into(
     elif tie_policy == "random":
         uniforms = scratch.buf("select_uniforms", ttf.shape, np.float64)
         rng.random(out=uniforms)
-        order = np.argsort(uniforms, axis=1)
+        order = np.argsort(uniforms, axis=-1)
     else:
         raise DataError(f"unknown tie policy {tie_policy!r}")
+    keys = _selection_keys(ttf, order, scratch)
+    np.argmin(keys, axis=-1, out=out)
+    return out
+
+
+def _selection_keys(
+    ttf: np.ndarray, order: np.ndarray, scratch: SampleScratch
+) -> np.ndarray:
+    """Fused selection-key construction shared by the 2-D and chain-batched
+    ``select_first_to_fire*_into`` paths.  Purely elementwise, so it is
+    shape-agnostic: a ``(K, n_sites, n_labels)`` block produces exactly
+    the keys of K independent ``(n_sites, n_labels)`` calls.
+    """
+    n_labels = ttf.shape[-1]
     if np.issubdtype(ttf.dtype, np.floating):
         # Mirror the reference float-key construction op for op:
         # big * (1.0 + order / (10 * n_labels)) where the TTF is +inf.
@@ -186,5 +228,40 @@ def select_first_to_fire_into(
         keys = scratch.buf("select_int_keys", ttf.shape, ttf.dtype)
         np.multiply(ttf, ttf.dtype.type(n_labels), out=keys)
         np.add(keys, order, out=keys)
-    np.argmin(keys, axis=1, out=out)
+    return keys
+
+
+def select_first_to_fire_chains_into(
+    ttf: np.ndarray,
+    tie_policy: str,
+    rngs,
+    out: np.ndarray,
+    scratch: SampleScratch,
+) -> np.ndarray:
+    """Chain-batched :func:`select_first_to_fire_into`.
+
+    ``ttf`` is ``(K, n_sites, n_labels)`` and ``rngs[k]`` supplies chain
+    ``k``'s tie-break entropy.  Byte-identical to K sequential
+    :func:`select_first_to_fire_into` calls: the ``random`` policy fills
+    one per-chain uniform slab from each chain's own generator — the
+    same block, in the same order, that chain would draw running alone —
+    and the key construction and argmin are elementwise/rowwise, so
+    batching over the chain axis cannot change any winner.
+    """
+    n_labels = ttf.shape[-1]
+    if tie_policy == "first":
+        order = np.broadcast_to(np.arange(n_labels, dtype=np.int64), ttf.shape)
+    elif tie_policy == "last":
+        order = np.broadcast_to(
+            np.arange(n_labels - 1, -1, -1, dtype=np.int64), ttf.shape
+        )
+    elif tie_policy == "random":
+        uniforms = scratch.buf("select_uniforms", ttf.shape, np.float64)
+        for index, rng in enumerate(rngs):
+            rng.random(out=uniforms[index])
+        order = np.argsort(uniforms, axis=-1)
+    else:
+        raise DataError(f"unknown tie policy {tie_policy!r}")
+    keys = _selection_keys(ttf, order, scratch)
+    np.argmin(keys, axis=-1, out=out)
     return out

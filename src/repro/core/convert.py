@@ -195,6 +195,72 @@ def lambda_codes_lut_into(
     return out
 
 
+@lru_cache(maxsize=256)
+def _stacked_conversion_lut(temperatures: tuple, config: RSUConfig) -> np.ndarray:
+    table = np.concatenate(
+        [conversion_lut(temperature, config) for temperature in temperatures]
+    )
+    table.setflags(write=False)
+    return table
+
+
+def stacked_conversion_lut(temperatures, config: RSUConfig) -> np.ndarray:
+    """Per-chain conversion tables concatenated along one axis (memoized).
+
+    For K chains at (grid) temperatures ``temperatures`` the result is a
+    read-only ``(K * 2**Energy_bits,)`` array whose slice
+    ``[k*S:(k+1)*S]`` is exactly ``conversion_lut(temperatures[k],
+    config)`` — so one gather with per-chain index offsets converts a
+    whole ``(K, sites, labels)`` block (parallel tempering's ladder of
+    replica temperatures) in a single NumPy call.
+    """
+    temps = tuple(float(t) for t in temperatures)
+    if not temps:
+        raise ConfigError("need at least one temperature")
+    if any(t <= 0 for t in temps):
+        raise ConfigError("temperatures must be positive")
+    return _stacked_conversion_lut(temps, config)
+
+
+def lambda_codes_lut_stacked_into(
+    quantized_energy: np.ndarray,
+    table: np.ndarray,
+    config: RSUConfig,
+    out: np.ndarray,
+    row_min: np.ndarray,
+) -> np.ndarray:
+    """Chain-batched :func:`lambda_codes_lut_into` over a stacked table.
+
+    ``quantized_energy`` and ``out`` are ``(K, n_sites, n_labels)``;
+    ``table`` is the :func:`stacked_conversion_lut` for the K chain
+    temperatures (chain ``k`` owns the stride-``S`` slice starting at
+    ``k * S``); ``row_min`` is an int64 ``(K * n_sites, 1)`` buffer.
+    **Mutates** ``quantized_energy`` (scaling shift + chain offsets) —
+    fused callers own that buffer and are done with it.
+
+    Byte-identical to K per-chain :func:`lambda_codes_lut_into` calls:
+    the scaling row-minimum is taken within each row (chains never mix),
+    and index ``e`` of chain ``k`` reads ``table[k * S + e]`` — the same
+    entry the chain's own table holds.  As with the fused single-table
+    path the caller guarantees energies on the ``Energy_bits`` grid; an
+    out-of-grid index in any chain but the last would alias into the
+    next chain's slice rather than raise, which the
+    :meth:`~repro.core.energy.EnergyStage.quantize_into` contract rules
+    out.
+    """
+    chains = quantized_energy.shape[0]
+    stride = table.size // chains
+    index = quantized_energy
+    flat = index.reshape(chains * index.shape[1], index.shape[2])
+    if config.scaling:
+        np.amin(flat, axis=1, keepdims=True, out=row_min)
+        np.subtract(flat, row_min, out=flat)
+    offsets = np.arange(chains, dtype=np.int64) * np.int64(stride)
+    np.add(index, offsets[:, None, None], out=index)
+    np.copyto(out.reshape(flat.shape), table[flat])
+    return out
+
+
 def boundary_table(temperature: float, config: RSUConfig) -> np.ndarray:
     """Energy boundaries for the comparison-based conversion.
 

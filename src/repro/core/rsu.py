@@ -25,6 +25,7 @@ from repro.core.base import (
     SamplerBackend,
     SampleScratch,
     select_first_to_fire,
+    select_first_to_fire_chains_into,
     select_first_to_fire_into,
 )
 from repro.core.convert import (
@@ -32,6 +33,8 @@ from repro.core.convert import (
     lambda_codes,
     lambda_codes_lut,
     lambda_codes_lut_into,
+    lambda_codes_lut_stacked_into,
+    stacked_conversion_lut,
 )
 from repro.core.energy import EnergyStage
 from repro.core.params import RSUConfig, legacy_design_config, new_design_config
@@ -148,19 +151,118 @@ class RSUGSampler(SamplerBackend):
             lambda_codes_lut_into(quantized, table, self.config, codes, row_min)
         else:
             np.copyto(codes, lambda_codes(quantized, t_grid, self.config))
-        if self.config.float_time:
-            ttf_dtype = np.float64
-        else:
-            # Bins and selection keys are tiny integers; run the integer
-            # stages in int32 when ``ttf * n_labels + order`` provably
-            # fits — half the memory traffic, identical values, so the
-            # selected labels are unchanged.
-            key_bound = (self.config.time_bins + 2 + 1) * shape[1]
-            ttf_dtype = np.int32 if key_bound < 2**31 else np.int64
-        ttf = scratch.buf("rsu_ttf", shape, ttf_dtype)
+        ttf = scratch.buf("rsu_ttf", shape, self._ttf_dtype(shape[1]))
         self._ttf.sample_into(codes, ttf, scratch)
         return select_first_to_fire_into(
             ttf, self.config.tie_policy, self._rng, out, scratch
+        )
+
+    def _ttf_dtype(self, n_labels: int):
+        """Output dtype of the fused TTF stage.
+
+        Bins and selection keys are tiny integers; the integer stages
+        run in int32 when ``ttf * n_labels + order`` provably fits —
+        half the memory traffic, identical values, so the selected
+        labels are unchanged.
+        """
+        if self.config.float_time:
+            return np.float64
+        key_bound = (self.config.time_bins + 2 + 1) * n_labels
+        return np.int32 if key_bound < 2**31 else np.int64
+
+    @classmethod
+    def sample_chains_into(
+        cls,
+        samplers,
+        energies: np.ndarray,
+        temperatures,
+        out: np.ndarray,
+        scratch: SampleScratch,
+    ) -> np.ndarray:
+        """Chain-batched RSU pipeline over a ``(K, sites, labels)`` block.
+
+        quantize -> λ-LUT gather -> TTF -> first-to-fire, each stage run
+        once over the stacked block with one RNG stream per chain.  The
+        energy quantization is elementwise; the LUT gather uses the
+        shared table when every chain sits at one grid temperature
+        (ensembles) and a :func:`stacked_conversion_lut` with per-chain
+        index offsets when the ladder differs (tempering); the TTF and
+        selection stages fill per-chain entropy slabs and batch the
+        rest.  Byte-identical to K sequential :meth:`sample_into` calls.
+
+        Chains whose design points differ — different config, energy
+        stage, replaced TTF stage, or mixed LUT switches — fall back to
+        the base per-chain loop, which is byte-identical by the
+        :meth:`sample_into` contract.
+        """
+        first = samplers[0]
+        compatible = all(
+            sampler._ttf_fusable
+            and sampler.config == first.config
+            and sampler.energy_stage == first.energy_stage
+            and sampler._ttf.config == first._ttf.config
+            for sampler in samplers
+        )
+        if not compatible:
+            return super().sample_chains_into(
+                samplers, energies, temperatures, out, scratch
+            )
+        if energies.ndim != 3 or energies.shape[2] < 1 or energies.shape[1] < 1:
+            raise DataError(
+                f"energies must be (chains, n_sites, n_labels), got shape {energies.shape}"
+            )
+        for temperature in temperatures:
+            check_positive("temperature", temperature)
+        constants = [
+            sampler._stage_constants(float(temperature))
+            for sampler, temperature in zip(samplers, temperatures)
+        ]
+        if len({table is None for _, table in constants}) > 1:
+            # Mixed per-sampler LUT switches: no single batched gather
+            # reproduces both paths; the per-chain loop does.
+            return super().sample_chains_into(
+                samplers, energies, temperatures, out, scratch
+            )
+        shape = energies.shape
+        flat_rows = shape[0] * shape[1]
+        work = scratch.buf("rsu_quantize_work", shape, np.float64)
+        quantized = scratch.buf("rsu_quantized", shape, np.int64)
+        first.energy_stage.quantize_into(energies, quantized, work)
+        codes = scratch.buf("rsu_codes", shape, np.int64)
+        t_grids = [t_grid for t_grid, _ in constants]
+        if constants[0][1] is not None:
+            row_min = scratch.buf("rsu_row_min", (flat_rows, 1), np.int64)
+            if all(t_grid == t_grids[0] for t_grid in t_grids):
+                # One grid temperature (multi-seed ensembles): every
+                # chain gathers from the same memoized table, so the
+                # whole block flattens to one 2-D gather.
+                lambda_codes_lut_into(
+                    quantized.reshape(flat_rows, shape[2]),
+                    constants[0][1],
+                    first.config,
+                    codes.reshape(flat_rows, shape[2]),
+                    row_min,
+                )
+            else:
+                table = stacked_conversion_lut(t_grids, first.config)
+                lambda_codes_lut_stacked_into(
+                    quantized, table, first.config, codes, row_min
+                )
+        else:
+            for index, t_grid in enumerate(t_grids):
+                np.copyto(
+                    codes[index], lambda_codes(quantized[index], t_grid, first.config)
+                )
+        ttf = scratch.buf("rsu_ttf", shape, first._ttf_dtype(shape[2]))
+        TTFSampler.sample_chains_into(
+            [sampler._ttf for sampler in samplers], codes, ttf, scratch
+        )
+        return select_first_to_fire_chains_into(
+            ttf,
+            first.config.tie_policy,
+            [sampler._rng for sampler in samplers],
+            out,
+            scratch,
         )
 
 

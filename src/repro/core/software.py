@@ -62,6 +62,49 @@ class SoftwareSampler(SamplerBackend):
         np.argmax(scores, axis=1, out=out)
         return out
 
+    @classmethod
+    def sample_chains_into(
+        cls,
+        samplers,
+        energies: np.ndarray,
+        temperatures,
+        out: np.ndarray,
+        scratch: SampleScratch,
+    ) -> np.ndarray:
+        """Chain-batched Gumbel-max draw over a ``(K, sites, labels)`` block.
+
+        Each chain's uniform slab is filled from its own generator — the
+        identical block, in the identical order, that chain would draw
+        running alone — then the whole ``-log(-log1p(-u))`` / score
+        chain runs once over the stacked block, dividing by a
+        ``(K, 1, 1)`` per-chain temperature column.  Elementwise ufuncs
+        are block-shape invariant, so the result is byte-identical to K
+        sequential :meth:`sample_into` calls.
+        """
+        if energies.ndim != 3 or energies.shape[2] < 1 or energies.shape[1] < 1:
+            raise DataError(
+                f"energies must be (chains, n_sites, n_labels), got shape {energies.shape}"
+            )
+        chains = energies.shape[0]
+        temps = scratch.buf("chain_temps", (chains, 1, 1), np.float64)
+        for index, temperature in enumerate(temperatures):
+            check_positive("temperature", temperature)
+            temps[index, 0, 0] = float(temperature)
+        gumbel = scratch.buf("gumbel", energies.shape, np.float64)
+        for index, sampler in enumerate(samplers):
+            sampler._rng.random(out=gumbel[index])
+        np.negative(gumbel, out=gumbel)
+        np.log1p(gumbel, out=gumbel)
+        np.negative(gumbel, out=gumbel)
+        np.log(gumbel, out=gumbel)
+        np.negative(gumbel, out=gumbel)
+        scores = scratch.buf("gumbel_scores", energies.shape, np.float64)
+        np.divide(energies, temps, out=scores)
+        np.negative(scores, out=scores)
+        np.add(scores, gumbel, out=scores)
+        np.argmax(scores, axis=-1, out=out)
+        return out
+
 
 class GreedySampler(SamplerBackend):
     """Deterministic argmin-energy backend (ICM); a testing reference.
@@ -89,4 +132,23 @@ class GreedySampler(SamplerBackend):
             )
         check_positive("temperature", temperature)
         np.argmin(energies, axis=1, out=out)
+        return out
+
+    @classmethod
+    def sample_chains_into(
+        cls,
+        samplers,
+        energies: np.ndarray,
+        temperatures,
+        out: np.ndarray,
+        scratch: SampleScratch,
+    ) -> np.ndarray:
+        """One argmin over the whole ``(K, sites, labels)`` block (no RNG)."""
+        if energies.ndim != 3 or energies.shape[2] < 1 or energies.shape[1] < 1:
+            raise DataError(
+                f"energies must be (chains, n_sites, n_labels), got shape {energies.shape}"
+            )
+        for temperature in temperatures:
+            check_positive("temperature", temperature)
+        np.argmin(energies, axis=-1, out=out)
         return out

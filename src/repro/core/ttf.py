@@ -104,44 +104,33 @@ class TTFSampler:
         """
         if codes.size and codes.min() < 0:
             raise ConfigError("decay-rate codes must be non-negative")
-        cfg = self.config
         uniforms = scratch.buf("ttf_uniforms", codes.shape, np.float64)
         self._rng.random(out=uniforms)
-        active = scratch.buf("ttf_active_mask", codes.shape, np.bool_)
-        np.greater(codes, 0, out=active)
-        n_active = int(np.count_nonzero(active))
-        mask_flat = active.reshape(-1)
-        # Compressed views over preallocated max-size pools: only the
-        # first n_active lanes of each are touched.
-        size = codes.size
-        rates = scratch.buf("ttf_rates_pool", (size,), np.float64)[:n_active]
-        work = scratch.buf("ttf_work_pool", (size,), np.float64)[:n_active]
-        active_codes = scratch.buf("ttf_codes_pool", (size,), np.int64)[:n_active]
-        np.compress(mask_flat, codes.reshape(-1), out=active_codes)
-        np.multiply(active_codes, cfg.lambda0_per_bin, out=rates)
-        np.compress(mask_flat, uniforms.reshape(-1), out=work)
-        # work = -log1p(-u) / rate: the same op chain, op for op, as the
-        # reference's compressed computation.
-        np.negative(work, out=work)
-        np.log1p(work, out=work)
-        np.negative(work, out=work)
-        np.divide(work, rates, out=work)
-        if cfg.float_time:
-            out.fill(np.inf)
-            np.place(out, active, work)
-            return out
-        np.ceil(work, out=work)
-        if cfg.clamp_to_tmax:
-            np.minimum(work, cfg.time_bins, out=work)
-        else:
-            late = scratch.buf("ttf_late_pool", (size,), np.bool_)[:n_active]
-            np.greater(work, cfg.time_bins, out=late)
-            work[late] = float(no_sample_bin(cfg))
-        bins = scratch.buf("ttf_bins_pool", (size,), out.dtype)[:n_active]
-        np.copyto(bins, work, casting="unsafe")
-        out.fill(cutoff_bin(cfg))
-        np.place(out, active, bins)
-        return out
+        return _finish_fused_sample(self.config, codes, uniforms, out, scratch)
+
+    @staticmethod
+    def sample_chains_into(
+        ttf_samplers, codes: np.ndarray, out: np.ndarray, scratch: SampleScratch
+    ) -> np.ndarray:
+        """Chain-batched :meth:`sample_into` over a ``(K, sites, labels)`` block.
+
+        ``ttf_samplers[k]`` supplies chain ``k``'s RET entropy; all K
+        must share one design point (the caller checks — the batched RSU
+        path only dispatches here for config-identical chains).  Each
+        chain's uniform slab is prefetched from its own generator — the
+        identical block that chain would draw running alone — and the
+        binning tail then runs once over the whole stacked block, which
+        is elementwise/compress work and therefore byte-identical to K
+        sequential :meth:`sample_into` calls.
+        """
+        if codes.size and codes.min() < 0:
+            raise ConfigError("decay-rate codes must be non-negative")
+        uniforms = scratch.buf("ttf_uniforms", codes.shape, np.float64)
+        for index, sampler in enumerate(ttf_samplers):
+            sampler._rng.random(out=uniforms[index])
+        return _finish_fused_sample(
+            ttf_samplers[0].config, codes, uniforms, out, scratch
+        )
 
     def truncation_probability(self, code: int) -> float:
         """P(no photon within the window) for a given decay-rate code."""
@@ -150,6 +139,57 @@ class TTFSampler:
         if code == 0:
             return 1.0
         return math.exp(-code * self.config.lambda0_per_bin * self.config.time_bins)
+
+
+def _finish_fused_sample(
+    cfg: RSUConfig,
+    codes: np.ndarray,
+    uniforms: np.ndarray,
+    out: np.ndarray,
+    scratch: SampleScratch,
+) -> np.ndarray:
+    """Shared binning tail of the fused TTF paths (post-uniform-fill).
+
+    Operates on arrays of any shape — the single-chain ``(sites, labels)``
+    matrix and the chain-batched ``(K, sites, labels)`` block flow
+    through identical flat/elementwise ops (mask, compress pools, place),
+    so stacking chains cannot change any bin.
+    """
+    active = scratch.buf("ttf_active_mask", codes.shape, np.bool_)
+    np.greater(codes, 0, out=active)
+    n_active = int(np.count_nonzero(active))
+    mask_flat = active.reshape(-1)
+    # Compressed views over preallocated max-size pools: only the
+    # first n_active lanes of each are touched.
+    size = codes.size
+    rates = scratch.buf("ttf_rates_pool", (size,), np.float64)[:n_active]
+    work = scratch.buf("ttf_work_pool", (size,), np.float64)[:n_active]
+    active_codes = scratch.buf("ttf_codes_pool", (size,), np.int64)[:n_active]
+    np.compress(mask_flat, codes.reshape(-1), out=active_codes)
+    np.multiply(active_codes, cfg.lambda0_per_bin, out=rates)
+    np.compress(mask_flat, uniforms.reshape(-1), out=work)
+    # work = -log1p(-u) / rate: the same op chain, op for op, as the
+    # reference's compressed computation.
+    np.negative(work, out=work)
+    np.log1p(work, out=work)
+    np.negative(work, out=work)
+    np.divide(work, rates, out=work)
+    if cfg.float_time:
+        out.fill(np.inf)
+        np.place(out, active, work)
+        return out
+    np.ceil(work, out=work)
+    if cfg.clamp_to_tmax:
+        np.minimum(work, cfg.time_bins, out=work)
+    else:
+        late = scratch.buf("ttf_late_pool", (size,), np.bool_)[:n_active]
+        np.greater(work, cfg.time_bins, out=late)
+        work[late] = float(no_sample_bin(cfg))
+    bins = scratch.buf("ttf_bins_pool", (size,), out.dtype)[:n_active]
+    np.copyto(bins, work, casting="unsafe")
+    out.fill(cutoff_bin(cfg))
+    np.place(out, active, bins)
+    return out
 
 
 def bin_probabilities(code: int, config: RSUConfig) -> np.ndarray:

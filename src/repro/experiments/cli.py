@@ -63,6 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("stereo", "motion", "segmentation", "denoise"))
     sweeper.add_argument("--profile", default="quick", choices=("full", "quick"))
     sweeper.add_argument("--seed", type=int, default=3)
+    sweeper.add_argument(
+        "--chains", type=int, default=1,
+        help="chains per design point (>1: batched best-of-K ensemble)",
+    )
     sweeper.add_argument("--chart", action="store_true")
     _add_engine_options(sweeper)
     reporter = sub.add_parser(
@@ -106,6 +110,7 @@ def main(argv=None) -> int:
             result = run_sweep(
                 args.param, values, app=args.app,
                 profile=get_profile(args.profile), seed=args.seed,
+                chains=args.chains,
             )
         print(result.to_text())
         if args.chart:

@@ -83,6 +83,7 @@ class SolveTask:
     config: Optional[RSUConfig] = None
     params: Tuple[Tuple[str, object], ...] = ()
     seed: int = 3
+    chains: int = 1
 
     def __post_init__(self):
         if self.app not in APP_RUNNERS:
@@ -91,10 +92,12 @@ class SolveTask:
             )
         if self.backend == "rsu" and self.config is None:
             raise ConfigError("backend 'rsu' requires an explicit RSUConfig")
+        if self.chains < 1:
+            raise ConfigError(f"chains must be >= 1, got {self.chains}")
 
     def payload(self) -> dict:
         """Canonical JSON-serializable description (the cache-key input)."""
-        return {
+        payload = {
             "version": CACHE_FORMAT_VERSION,
             "app": self.app,
             "dataset": {k: _jsonable(v) for k, v in self.dataset},
@@ -103,6 +106,12 @@ class SolveTask:
             "params": {k: _jsonable(v) for k, v in self.params},
             "seed": self.seed,
         }
+        if self.chains != 1:
+            # Only multi-chain tasks carry the field, so every key minted
+            # before ensembles existed stays valid (chains == 1 is the
+            # historical semantics, bit for bit).
+            payload["chains"] = self.chains
+        return payload
 
     def key(self) -> str:
         """Content-addressed cache key: SHA-256 of the canonical payload."""
@@ -123,6 +132,7 @@ def solve_task(
     config: Optional[RSUConfig] = None,
     params: object = None,
     seed: int = 3,
+    chains: int = 1,
 ) -> SolveTask:
     """Build a :class:`SolveTask` from loader kwargs and a params dataclass."""
     params_items: Tuple[Tuple[str, object], ...] = ()
@@ -135,6 +145,7 @@ def solve_task(
         config=config,
         params=params_items,
         seed=seed,
+        chains=chains,
     )
 
 
@@ -156,7 +167,12 @@ def execute_task(task: SolveTask):
     dataset = _load_dataset(task.app, task.dataset)
     params = params_cls(**dict(task.params)) if task.params else params_cls()
     return solver(
-        dataset, task.backend, params, rsu_config=task.config, seed=task.seed
+        dataset,
+        task.backend,
+        params,
+        rsu_config=task.config,
+        seed=task.seed,
+        chains=task.chains,
     )
 
 

@@ -95,8 +95,13 @@ def run_sweep(
     app: str = "stereo",
     profile: Profile = FULL,
     seed: int = 3,
+    chains: int = 1,
 ) -> ExperimentResult:
-    """Solve ``app`` at each design point and tabulate quality."""
+    """Solve ``app`` at each design point and tabulate quality.
+
+    ``chains > 1`` solves every design point as a best-of-K multi-seed
+    ensemble (batched across chains), reporting the winning chain.
+    """
     if app not in APPS:
         raise ConfigError(f"unknown app {app!r}; pick from {APPS}")
     dataset_kwargs, params, metric_name, metric_of = app_sweep_spec(app, profile)
@@ -104,7 +109,7 @@ def run_sweep(
         solve_task(
             app, dataset_kwargs,
             config=new_design_config(**{param: value}),
-            params=params, seed=seed,
+            params=params, seed=seed, chains=chains,
         )
         for value in values
     ]

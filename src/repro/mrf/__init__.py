@@ -7,10 +7,17 @@ from repro.mrf.annealing import (
     Schedule,
     geometric_for_span,
 )
+from repro.mrf.batch import BatchedSweepWorkspace, EnsembleResult, EnsembleSolver
 from repro.mrf.kernel import SweepWorkspace
 from repro.mrf.model import GridMRF, checkerboard_masks, coloring_masks
 from repro.mrf.solver import MCMCSolver, SolveResult
-from repro.mrf.tempering import ParallelTempering, TemperingResult, geometric_ladder
+from repro.mrf.tempering import (
+    ParallelTempering,
+    TemperingResult,
+    geometric_ladder,
+    swap_log_alpha,
+    swap_probability,
+)
 
 __all__ = [
     "ConstantSchedule",
@@ -24,7 +31,12 @@ __all__ = [
     "MCMCSolver",
     "SolveResult",
     "SweepWorkspace",
+    "BatchedSweepWorkspace",
+    "EnsembleResult",
+    "EnsembleSolver",
     "ParallelTempering",
     "TemperingResult",
     "geometric_ladder",
+    "swap_log_alpha",
+    "swap_probability",
 ]

@@ -11,6 +11,16 @@ cold chain escape local minima through the hot ones.  Each chain uses
 an independent sampler backend, so tempering runs identically on the
 software baseline or on RSU-G hardware models (one RSU-G per replica —
 exactly the multi-unit layouts of Sec. IV-B.6).
+
+The replica ladder is the canonical batched-chain workload: by default
+the whole ladder sweeps through one
+:class:`~repro.mrf.batch.BatchedSweepWorkspace` (all replicas stacked
+into a ``(K, H, W)`` tensor, one fused dispatch per colour class), and
+the swap rounds draw their uniforms as one block per round.
+``use_batched=False`` keeps the replicas on K sequential fused
+workspaces; both paths are byte-identical — same labels, same energy
+histories, same swap decisions, same consumption of every RNG stream —
+which ``tests/test_mrf_batch.py`` enforces.
 """
 
 from __future__ import annotations
@@ -23,9 +33,33 @@ import numpy as np
 
 from repro.core.base import SamplerBackend
 from repro.mrf.annealing import ConstantSchedule
-from repro.mrf.model import GridMRF
+from repro.mrf.batch import BatchedSweepWorkspace
+from repro.mrf.model import GridMRF, coloring_masks
 from repro.mrf.solver import MCMCSolver
 from repro.util.errors import ConfigError
+
+
+def swap_log_alpha(
+    t_cold: float, t_hot: float, energy_cold: float, energy_hot: float
+) -> float:
+    """Log of the (unclamped) replica-swap Metropolis ratio."""
+    beta_cold = 1.0 / t_cold
+    beta_hot = 1.0 / t_hot
+    return (beta_cold - beta_hot) * (energy_cold - energy_hot)
+
+
+def swap_probability(
+    t_cold: float, t_hot: float, energy_cold: float, energy_hot: float
+) -> float:
+    """Acceptance probability ``min(1, exp(log_alpha))``, overflow-safe.
+
+    The exponent is clamped to ``min(0, log_alpha)`` *before* ``exp``:
+    a favourable swap (``log_alpha >= 0``) accepts with probability
+    exactly 1.0, and a huge positive ``log_alpha`` — easy to produce
+    with a steep ladder and a large energy gap — can never raise
+    ``OverflowError`` out of ``math.exp``.
+    """
+    return math.exp(min(0.0, swap_log_alpha(t_cold, t_hot, energy_cold, energy_hot)))
 
 
 @dataclass
@@ -65,6 +99,11 @@ class ParallelTempering:
         Ladder, coldest first; must be strictly increasing.
     swap_interval:
         Sweeps between swap rounds.
+    use_batched:
+        Sweep the whole ladder through one
+        :class:`~repro.mrf.batch.BatchedSweepWorkspace` (the default).
+        ``False`` runs K sequential fused workspaces — byte-identical
+        by contract, retained as the oracle and for A/B benchmarking.
     """
 
     def __init__(
@@ -74,6 +113,7 @@ class ParallelTempering:
         temperatures: Sequence[float],
         swap_interval: int = 1,
         seed: int = 0,
+        use_batched: bool = True,
     ):
         temps = list(temperatures)
         if len(temps) < 2:
@@ -87,6 +127,7 @@ class ParallelTempering:
         self.model = model
         self.temperatures = temps
         self.swap_interval = swap_interval
+        self.use_batched = use_batched
         self._rng = np.random.default_rng(seed)
         self._solvers = [
             MCMCSolver(
@@ -104,7 +145,46 @@ class ParallelTempering:
         """Run all replicas for ``sweeps`` sweeps with periodic swaps."""
         if sweeps < 1:
             raise ConfigError("sweeps must be >= 1")
+        if self.use_batched:
+            return self._run_batched(sweeps)
+        return self._run_sequential(sweeps)
+
+    def _swap_round(
+        self, sweep_index: int, energies: List[float], result: TemperingResult
+    ) -> List[int]:
+        """Decide one round of adjacent-pair swaps; returns accepted indices.
+
+        Alternates even/odd pair alignment across rounds.  The round's
+        uniforms come from one block draw — bit-identical values and
+        generator state to the per-pair scalar draws they replace — but
+        each comparison stays scalar ``math.log`` (``math.log`` and
+        ``np.log`` differ in the last ulp on some platforms, and the
+        sequential oracle uses the former).
+        """
+        start = (sweep_index // self.swap_interval) % 2
+        pairs = list(range(start, len(self.temperatures) - 1, 2))
+        accepted: List[int] = []
+        if not pairs:
+            return accepted
+        draws = self._rng.random(len(pairs))
+        for j, i in enumerate(pairs):
+            result.swap_attempts += 1
+            log_alpha = swap_log_alpha(
+                self.temperatures[i],
+                self.temperatures[i + 1],
+                energies[i],
+                energies[i + 1],
+            )
+            if math.log(draws[j] + 1e-300) < min(0.0, log_alpha):
+                energies[i], energies[i + 1] = energies[i + 1], energies[i]
+                result.swaps_accepted += 1
+                accepted.append(i)
+        return accepted
+
+    def _run_sequential(self, sweeps: int) -> TemperingResult:
         states = [solver.initial_labels() for solver in self._solvers]
+        for solver, labels in zip(self._solvers, states):
+            solver.workspace.bind(labels)
         result = TemperingResult(
             labels=states[0], temperatures=self.temperatures, energy_history=[]
         )
@@ -113,25 +193,57 @@ class ParallelTempering:
             for solver, temperature, labels in zip(
                 self._solvers, self.temperatures, states
             ):
-                solver.sweep(labels, temperature)
+                # The workspace rebinds automatically when a swap handed
+                # this replica a different label array.
+                solver.workspace.sweep(
+                    labels, temperature, solver.sampler, solver._wants_current
+                )
                 energies.append(self.model.total_energy(labels))
             if (sweep_index + 1) % self.swap_interval == 0:
-                # Alternate even/odd adjacent pairs across rounds.
-                start = (sweep_index // self.swap_interval) % 2
-                for i in range(start, len(states) - 1, 2):
-                    result.swap_attempts += 1
-                    if self._accept_swap(energies[i], energies[i + 1], i):
-                        states[i], states[i + 1] = states[i + 1], states[i]
-                        energies[i], energies[i + 1] = energies[i + 1], energies[i]
-                        result.swaps_accepted += 1
+                for i in self._swap_round(sweep_index, energies, result):
+                    states[i], states[i + 1] = states[i + 1], states[i]
             result.energy_history.append(energies)
         result.labels = states[0]
         return result
 
+    def _run_batched(self, sweeps: int) -> TemperingResult:
+        chains = len(self._solvers)
+        states = np.stack([solver.initial_labels() for solver in self._solvers])
+        samplers = [solver.sampler for solver in self._solvers]
+        wants = [solver._wants_current for solver in self._solvers]
+        masks = coloring_masks(self.model.shape, self.model.connectivity)
+        workspace = BatchedSweepWorkspace(self.model, masks, chains)
+        workspace.bind(states)
+        result = TemperingResult(
+            labels=states[0], temperatures=self.temperatures, energy_history=[]
+        )
+        for sweep_index in range(sweeps):
+            workspace.sweep(states, self.temperatures, samplers, wants)
+            energies = [
+                self.model.total_energy(states[k]) for k in range(chains)
+            ]
+            if (sweep_index + 1) % self.swap_interval == 0:
+                accepted = self._swap_round(sweep_index, energies, result)
+                for i in accepted:
+                    # Fancy-index row assignment copies the RHS first,
+                    # so this swaps the two chains' contents in place.
+                    states[[i, i + 1]] = states[[i + 1, i]]
+                if accepted:
+                    # The padded mirrors of the swapped chains are stale;
+                    # resynchronize wholesale before the next sweep.
+                    workspace.bind(states)
+            result.energy_history.append(energies)
+        result.labels = states[0].copy()
+        return result
+
     def _accept_swap(self, energy_cold: float, energy_hot: float, index: int) -> bool:
-        beta_cold = 1.0 / self.temperatures[index]
-        beta_hot = 1.0 / self.temperatures[index + 1]
-        log_alpha = (beta_cold - beta_hot) * (energy_cold - energy_hot)
+        """Single-pair acceptance (kept for direct testing)."""
+        log_alpha = swap_log_alpha(
+            self.temperatures[index],
+            self.temperatures[index + 1],
+            energy_cold,
+            energy_hot,
+        )
         return math.log(self._rng.random() + 1e-300) < min(0.0, log_alpha)
 
 

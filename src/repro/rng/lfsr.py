@@ -101,9 +101,37 @@ class LFSR:
         weights = np.int64(1) << np.arange(bits_per_word - 1, -1, -1, dtype=np.int64)
         return stream.astype(np.int64) @ weights
 
-    def uniforms(self, count: int, bits_per_word: int = 19) -> np.ndarray:
-        """Return ``count`` floats in [0, 1) built from packed words."""
-        return self.words(count, bits_per_word) / float(1 << bits_per_word)
+    def next_word(self, bits_per_word: int) -> int:
+        """Pack the next ``bits_per_word`` bits MSB-first into one integer.
+
+        Allocation-free scalar counterpart of :meth:`words`: the first
+        bit emitted lands in the most significant position, exactly the
+        packing order of the array path, so interleaving the two styles
+        keeps the bit stream aligned.
+        """
+        word = 0
+        for _ in range(bits_per_word):
+            word = (word << 1) | self.step()
+        return word
+
+    def uniforms(
+        self, count: int, bits_per_word: int = 19, out: np.ndarray = None
+    ) -> np.ndarray:
+        """Return ``count`` floats in [0, 1) built from packed words.
+
+        With ``out`` (a float64 ``(count,)`` buffer) the words are
+        packed scalar-by-scalar into the caller's buffer — zero
+        allocations, and bit-identical values: a ``bits_per_word``-bit
+        word is exactly representable in a double, and dividing by a
+        power of two is exact, so the Python and NumPy divisions agree
+        to the last ulp.
+        """
+        if out is None:
+            return self.words(count, bits_per_word) / float(1 << bits_per_word)
+        scale = float(1 << bits_per_word)
+        for index in range(count):
+            out[index] = self.next_word(bits_per_word) / scale
+        return out
 
     def __iter__(self) -> Iterator[int]:
         while True:

@@ -61,6 +61,18 @@ class MT19937:
             (self.next_u32() for _ in range(count)), dtype=np.uint64, count=count
         )
 
-    def uniforms(self, count: int) -> np.ndarray:
-        """Return ``count`` floats in [0, 1) with 32-bit granularity."""
-        return self.words(count).astype(np.float64) / float(1 << 32)
+    def uniforms(self, count: int, out: np.ndarray = None) -> np.ndarray:
+        """Return ``count`` floats in [0, 1) with 32-bit granularity.
+
+        With ``out`` (a float64 ``(count,)`` buffer) the tempered words
+        are written scalar-by-scalar into the caller's buffer — zero
+        allocations, bit-identical values (a 32-bit word is exactly
+        representable in a double and the power-of-two division is
+        exact).
+        """
+        if out is None:
+            return self.words(count).astype(np.float64) / float(1 << 32)
+        scale = float(1 << 32)
+        for index in range(count):
+            out[index] = self.next_u32() / scale
+        return out

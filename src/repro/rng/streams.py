@@ -5,23 +5,42 @@ A :class:`BitSource` is anything that can produce a vector of floats in
 RNG such as the RSU's RET entropy or Intel's DRNG); the LFSR and
 MT19937 wrappers expose the pseudo-RNG baselines through the same
 protocol so the inverse-CDF sampler can run on any of them.
+
+Every source supports an allocation-free buffered path,
+``uniforms(count, out=buffer)``, mirroring the ``rng.random(out=)``
+prefetch the fused TTF stage uses: the variates (and the underlying
+generator state advance) are identical to the allocating call, they
+just land in a caller-owned buffer — so pseudo-RNG backends on the
+fused sweep path stop reallocating per half-sweep.
 """
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Optional, Protocol
 
 import numpy as np
 
 from repro.rng.lfsr import LFSR
 from repro.rng.mt19937 import MT19937
+from repro.util.errors import ConfigError
+
+
+def _check_out(count: int, out: np.ndarray) -> None:
+    if out.shape != (count,):
+        raise ConfigError(
+            f"uniforms out buffer must have shape ({count},), got {out.shape}"
+        )
 
 
 class BitSource(Protocol):
     """Protocol for uniform-variate producers."""
 
-    def uniforms(self, count: int) -> np.ndarray:
-        """Return ``count`` floats in the half-open interval [0, 1)."""
+    def uniforms(self, count: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Return ``count`` floats in [0, 1), filling ``out`` if given.
+
+        The buffered call draws the identical variates in the identical
+        order as the allocating one — same generator state afterwards.
+        """
         ...
 
 
@@ -31,8 +50,12 @@ class NumpyBitSource:
     def __init__(self, rng: np.random.Generator):
         self._rng = rng
 
-    def uniforms(self, count: int) -> np.ndarray:
-        return self._rng.random(count)
+    def uniforms(self, count: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+        if out is None:
+            return self._rng.random(count)
+        _check_out(count, out)
+        self._rng.random(out=out)
+        return out
 
 
 class LFSRBitSource:
@@ -42,8 +65,10 @@ class LFSRBitSource:
         self._lfsr = lfsr
         self._bits_per_word = bits_per_word
 
-    def uniforms(self, count: int) -> np.ndarray:
-        return self._lfsr.uniforms(count, self._bits_per_word)
+    def uniforms(self, count: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+        if out is not None:
+            _check_out(count, out)
+        return self._lfsr.uniforms(count, self._bits_per_word, out=out)
 
 
 class MTBitSource:
@@ -52,8 +77,10 @@ class MTBitSource:
     def __init__(self, mt: MT19937):
         self._mt = mt
 
-    def uniforms(self, count: int) -> np.ndarray:
-        return self._mt.uniforms(count)
+    def uniforms(self, count: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+        if out is not None:
+            _check_out(count, out)
+        return self._mt.uniforms(count, out=out)
 
 
 def uniform_from_bits(words: np.ndarray, bits: int) -> np.ndarray:

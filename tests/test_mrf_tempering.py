@@ -112,3 +112,43 @@ class TestRun:
             labels=np.zeros((2, 2)), temperatures=[0.1, 0.2], energy_history=[[0, 0]]
         )
         assert result.swap_rate == 0.0
+
+
+class TestSwapProbability:
+    """The acceptance exponent is clamped before exp, so extreme ladders
+    can never overflow and favourable swaps accept with probability 1."""
+
+    def test_favourable_swap_is_certain(self):
+        from repro.mrf import swap_log_alpha, swap_probability
+
+        assert swap_log_alpha(0.1, 0.5, 10.0, 2.0) > 0
+        assert swap_probability(0.1, 0.5, 10.0, 2.0) == 1.0
+
+    def test_huge_positive_log_alpha_does_not_overflow(self):
+        from repro.mrf import swap_log_alpha, swap_probability
+
+        # (1/1e-3 - 1/1e3) * 2e6 ~ 2e9: exp() of that would raise
+        # OverflowError without the clamp.
+        assert swap_log_alpha(1e-3, 1e3, 1e6, -1e6) > 1e8
+        assert swap_probability(1e-3, 1e3, 1e6, -1e6) == 1.0
+
+    def test_huge_negative_log_alpha_underflows_to_zero(self):
+        from repro.mrf import swap_probability
+
+        assert swap_probability(1e-3, 1e3, -1e6, 1e6) == 0.0
+
+    def test_moderate_penalty_matches_exp(self):
+        import math
+
+        from repro.mrf import swap_probability
+
+        t_cold, t_hot, e_cold, e_hot = 0.2, 0.4, 3.0, 5.0
+        expected = math.exp((1 / t_cold - 1 / t_hot) * (e_cold - e_hot))
+        assert swap_probability(t_cold, t_hot, e_cold, e_hot) == pytest.approx(expected)
+
+    def test_accept_swap_uses_clamped_log_alpha(self):
+        model = frustrated_model()
+        pt = ParallelTempering(model, software_factory(), [1e-3, 1e3], seed=0)
+        # A wildly favourable swap must be accepted deterministically —
+        # and must not overflow on the way.
+        assert pt._accept_swap(1e6, -1e6, 0)

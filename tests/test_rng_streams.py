@@ -35,3 +35,57 @@ class TestUniformFromBits:
         assert u[0] == 0.0
         assert abs(u[1] - 0.5) < 1e-12
         assert u[2] < 1.0
+
+
+class TestBufferedUniforms:
+    """The out= path must draw identical variates and advance the
+    generator state identically to the allocating call."""
+
+    def sources(self, seed):
+        return [
+            NumpyBitSource(np.random.default_rng(seed)),
+            LFSRBitSource(LFSR(width=19, seed=seed * 2 + 1)),
+            MTBitSource(MT19937(seed)),
+        ]
+
+    def test_matches_allocating_path_and_state(self):
+        for alloc, buffered in zip(self.sources(9), self.sources(9)):
+            out = np.empty(33, dtype=np.float64)
+            direct = alloc.uniforms(33)
+            returned = buffered.uniforms(33, out=out)
+            assert returned is out
+            assert np.array_equal(direct, out)
+            # Same state afterwards: the next block must agree too.
+            assert np.array_equal(alloc.uniforms(17), buffered.uniforms(17))
+
+    def test_interleaving_styles_keeps_streams_aligned(self):
+        for alloc, buffered in zip(self.sources(4), self.sources(4)):
+            out = np.empty(8, dtype=np.float64)
+            assert np.array_equal(alloc.uniforms(8), buffered.uniforms(8, out=out))
+            assert np.array_equal(alloc.uniforms(5), buffered.uniforms(5))
+            assert np.array_equal(
+                alloc.uniforms(8), buffered.uniforms(8, out=out)
+            )
+
+    def test_rejects_mis_shaped_buffers(self):
+        from repro.util.errors import ConfigError
+
+        for source in self.sources(2):
+            with np.testing.assert_raises(ConfigError):
+                source.uniforms(10, out=np.empty(9, dtype=np.float64))
+
+
+class TestLFSRNextWord:
+    def test_matches_vector_words_packing(self):
+        vector = LFSR(width=19, seed=5).words(6, 19)
+        scalar_reg = LFSR(width=19, seed=5)
+        scalars = [scalar_reg.next_word(19) for _ in range(6)]
+        assert list(vector) == scalars
+
+    def test_mt_buffered_scale_is_exact(self):
+        # A 32-bit word over 2**32 is exact in double precision, so the
+        # scalar and vectorized divisions agree to the last ulp.
+        alloc = MT19937(77).uniforms(64)
+        out = np.empty(64, dtype=np.float64)
+        MT19937(77).uniforms(64, out=out)
+        assert np.array_equal(alloc, out)
