@@ -86,6 +86,25 @@ class SamplerBackend(ABC):
         labels = self._sample_batch(arr, float(temperature))
         return np.asarray(labels, dtype=np.int64)
 
+    def getstate(self) -> dict:
+        """Picklable snapshot of the backend's full RNG state.
+
+        The base implementation returns ``{}`` — correct for stateless
+        backends such as :class:`~repro.core.software.GreedySampler`.
+        Backends owning entropy (a :class:`numpy.random.Generator`, a
+        :class:`~repro.rng.streams.BitSource`, a TTF stage) override
+        both methods so a solver checkpoint can capture and restore
+        every stream it consumes, bit for bit.
+        """
+        return {}
+
+    def setstate(self, state: dict) -> None:
+        """Restore a :meth:`getstate` snapshot; bit-exact continuation."""
+        if state:
+            raise DataError(
+                f"{type(self).__name__} is stateless but got state {state!r}"
+            )
+
     def sample_into(
         self,
         energies: np.ndarray,

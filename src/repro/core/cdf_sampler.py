@@ -52,6 +52,12 @@ class CDFSampler(SamplerBackend):
         self.energy_stage = EnergyStage(energy_bits, energy_full_scale)
         self.weight_bits = weight_bits
 
+    def getstate(self) -> dict:
+        return {"source": self._source.getstate()}
+
+    def setstate(self, state: dict) -> None:
+        self._source.setstate(state["source"])
+
     def weights_for(self, energies: np.ndarray, temperature: float) -> np.ndarray:
         """Per-label weights after energy quantization (and weight quantization)."""
         quantized = self.energy_stage.quantize(energies).astype(np.float64)

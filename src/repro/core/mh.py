@@ -26,6 +26,7 @@ from repro.core.convert import lambda_codes
 from repro.core.energy import EnergyStage
 from repro.core.params import RSUConfig
 from repro.core.ttf import TTFSampler
+from repro.rng.streams import generator_state, set_generator_state
 from repro.util.errors import ConfigError, DataError
 
 
@@ -40,6 +41,12 @@ class SoftwareMHSampler(SamplerBackend):
             raise ConfigError(f"steps_per_update must be >= 1, got {steps_per_update}")
         self._rng = rng
         self.steps_per_update = steps_per_update
+
+    def getstate(self) -> dict:
+        return {"rng": generator_state(self._rng)}
+
+    def setstate(self, state: dict) -> None:
+        set_generator_state(self._rng, state["rng"])
 
     def sample_given_current(
         self, energies: np.ndarray, temperature: float, current: np.ndarray
@@ -96,6 +103,15 @@ class RSUMHSampler(SoftwareMHSampler):
         self.config = config
         self.energy_stage = EnergyStage(config.energy_bits, energy_full_scale)
         self._ttf = TTFSampler(config, rng)
+
+    def getstate(self) -> dict:
+        state = super().getstate()
+        state["ttf"] = self._ttf.getstate()
+        return state
+
+    def setstate(self, state: dict) -> None:
+        super().setstate(state)
+        self._ttf.setstate(state["ttf"])
 
     def _steps(
         self, energies: np.ndarray, temperature: float, current: np.ndarray

@@ -39,6 +39,7 @@ from repro.core.convert import (
 from repro.core.energy import EnergyStage
 from repro.core.params import RSUConfig, legacy_design_config, new_design_config
 from repro.core.ttf import TTFSampler
+from repro.rng.streams import generator_state, set_generator_state
 from repro.util.errors import DataError
 from repro.util.validation import check_positive
 
@@ -90,6 +91,19 @@ class RSUGSampler(SamplerBackend):
         # quantized temperature and conversion table twice (once per
         # checkerboard class) with identical values.
         self._stage_cache: Optional[Tuple[float, bool, float, Optional[np.ndarray]]] = None
+
+    def getstate(self) -> dict:
+        """Snapshot the selection rng and the TTF stage's entropy stream.
+
+        The two are usually one shared :class:`numpy.random.Generator`;
+        both snapshots are taken at the same instant, so restoring both
+        is correct whether or not they alias.
+        """
+        return {"rng": generator_state(self._rng), "ttf": self._ttf.getstate()}
+
+    def setstate(self, state: dict) -> None:
+        set_generator_state(self._rng, state["rng"])
+        self._ttf.setstate(state["ttf"])
 
     def _stage_constants(self, temperature: float) -> Tuple[float, Optional[np.ndarray]]:
         """(grid temperature, conversion table or None) for this call."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import SamplerBackend, SampleScratch
+from repro.rng.streams import generator_state, set_generator_state
 from repro.util.errors import DataError
 from repro.util.validation import check_positive
 
@@ -23,6 +24,12 @@ class SoftwareSampler(SamplerBackend):
 
     def __init__(self, rng: np.random.Generator):
         self._rng = rng
+
+    def getstate(self) -> dict:
+        return {"rng": generator_state(self._rng)}
+
+    def setstate(self, state: dict) -> None:
+        set_generator_state(self._rng, state["rng"])
 
     def _sample_batch(self, energies: np.ndarray, temperature: float) -> np.ndarray:
         gumbel = -np.log(-np.log1p(-self._rng.random(energies.shape)))

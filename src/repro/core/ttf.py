@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.base import SampleScratch
 from repro.core.params import RSUConfig
+from repro.rng.streams import generator_state, set_generator_state
 from repro.util.errors import ConfigError
 
 #: Sentinel bin for "no photon within the window" (TTF = infinity).
@@ -45,6 +46,14 @@ class TTFSampler:
     def __init__(self, config: RSUConfig, rng: np.random.Generator):
         self.config = config
         self._rng = rng
+
+    def getstate(self) -> dict:
+        """Picklable snapshot of the RET entropy generator state."""
+        return {"rng": generator_state(self._rng)}
+
+    def setstate(self, state: dict) -> None:
+        """Restore a :meth:`getstate` snapshot; bit-exact continuation."""
+        set_generator_state(self._rng, state["rng"])
 
     def sample(self, codes: np.ndarray) -> np.ndarray:
         """Return integer TTF bins for integer decay-rate ``codes``.

@@ -7,12 +7,15 @@ See DESIGN.md for the experiment index.
 
 from repro.experiments.engine import (
     ExperimentEngine,
+    RetryPolicy,
     SolveTask,
+    TaskFailure,
     get_engine,
     set_default_engine,
     solve_task,
     use_engine,
 )
+from repro.experiments.journal import RunJournal
 from repro.experiments.profiles import FULL, PROFILES, QUICK, Profile, get_profile
 from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
 from repro.experiments.result import ExperimentResult
@@ -28,7 +31,10 @@ __all__ = [
     "run_experiment",
     "ExperimentResult",
     "ExperimentEngine",
+    "RetryPolicy",
+    "RunJournal",
     "SolveTask",
+    "TaskFailure",
     "get_engine",
     "set_default_engine",
     "solve_task",

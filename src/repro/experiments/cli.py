@@ -20,7 +20,12 @@ import argparse
 import sys
 import time
 
-from repro.experiments.engine import DEFAULT_CACHE_DIR, ExperimentEngine, use_engine
+from repro.experiments.engine import (
+    DEFAULT_CACHE_DIR,
+    ExperimentEngine,
+    RetryPolicy,
+    use_engine,
+)
 from repro.experiments.registry import experiment_ids, run_experiment
 
 
@@ -36,6 +41,23 @@ def _add_engine_options(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--no-cache", action="store_true",
         help="disable the on-disk result cache",
+    )
+    subparser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SEC",
+        help="kill and retry any single solve exceeding SEC wall-clock seconds",
+    )
+    subparser.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="tries per task (crash/error/timeout) before quarantine (default 3)",
+    )
+    subparser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="stream the engine's run journal (retries, quarantines, rebuilds) to a JSONL file",
+    )
+    subparser.add_argument(
+        "--resume", action="store_true",
+        help="report the resume manifest of an interrupted run, then continue it "
+             "against the warm cache",
     )
 
 
@@ -81,18 +103,54 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
     return ExperimentEngine(
-        jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        retry=RetryPolicy(
+            max_attempts=args.max_attempts, timeout=args.task_timeout
+        ),
+        journal_path=args.journal,
+    )
+
+
+def _report_resume(engine: ExperimentEngine, args: argparse.Namespace) -> None:
+    """Describe the interrupted run a ``--resume`` invocation continues."""
+    if not getattr(args, "resume", False):
+        return
+    manifest = engine.read_resume_manifest()
+    if manifest is None:
+        print("no resume manifest found; starting fresh")
+        return
+    outstanding = len(manifest.get("outstanding", ()))
+    print(
+        f"resuming interrupted run: {manifest.get('completed', 0)}/"
+        f"{manifest.get('total', '?')} solves already cached, "
+        f"{outstanding} outstanding"
     )
 
 
 def main(argv=None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    SIGINT/SIGTERM during a batch flush completed results to the cache
+    and leave a resume manifest; the process then exits 130 and a later
+    ``--resume`` invocation continues from the warm cache.
+    """
+    try:
+        return _main(argv)
+    except KeyboardInterrupt:
+        print("\ninterrupted; completed solves are cached — rerun with --resume", file=sys.stderr)
+        return 130
+
+
+def _main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         for experiment_id in experiment_ids():
             print(experiment_id)
         return 0
     engine = _engine_from_args(args)
+    _report_resume(engine, args)
     if args.command == "report":
         from repro.experiments.report import generate_report
 

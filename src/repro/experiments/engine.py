@@ -1,4 +1,4 @@
-"""Parallel experiment execution engine with content-addressed caching.
+"""Crash-safe parallel experiment engine with verified result caching.
 
 Every quality experiment in the registry decomposes into independent
 solves: one application solved at one design point with one seed on one
@@ -16,9 +16,41 @@ a task can be
 
 Because each task seeds its own solver (``solve_*(..., seed=...)``
 constructs a fresh ``np.random.default_rng``), results are byte-identical
-whether tasks run sequentially, in parallel, or out of a warm cache —
-the determinism regression in ``tests/test_experiments_engine.py``
-asserts exactly that.
+whether tasks run sequentially, in parallel, out of a warm cache, or
+after any number of retries — the determinism regression in
+``tests/test_experiments_engine.py`` asserts exactly that.
+
+The engine is *resilient*: a long sweep survives worker failures
+instead of aborting on the first one.
+
+* A worker **exception** retries the task with exponential backoff up to
+  :attr:`RetryPolicy.max_attempts`; a task that keeps failing is
+  **quarantined** — its slot in the results list becomes an explicit
+  :class:`TaskFailure` hole and the sweep continues.
+* A worker **crash** breaks the whole :class:`ProcessPoolExecutor`, so
+  the engine rebuilds the pool and re-runs the started-but-unfinished
+  *suspects* one at a time in single-worker isolation pools.  That
+  pins the blame exactly: healthy tasks that happened to be in flight
+  with a poison task complete normally; the poison task crashes its
+  private pool and is quarantined.
+* A **hung** worker (``RetryPolicy.timeout``) is killed along with its
+  pool; the overdue task is retried in isolation, the rest of the wave
+  is resubmitted blame-free.
+
+Every recovery step is recorded in a structured
+:class:`~repro.experiments.journal.RunJournal` (optionally streamed to
+JSONL) using the same incident shape as the device-level fault
+subsystem.
+
+Cached results are wrapped in the checksummed envelope from
+:mod:`repro.util.integrity` (SHA-256 + format version).  A truncated or
+bit-flipped entry is detected on load, moved to
+``<cache_dir>/quarantine/``, counted in :class:`EngineStats`, and the
+task is simply recomputed.  Results are written to the cache *as each
+task completes* (not at batch end), so an interrupt loses nothing that
+finished; SIGINT/SIGTERM during a batch additionally writes a resume
+manifest (``<cache_dir>/resume-manifest.json``) that ``repro-exp run
+--resume`` reports before re-running the sweep against the warm cache.
 
 Experiments obtain the ambient engine through :func:`get_engine`; the
 CLI installs one built from ``--jobs`` / ``--cache-dir`` / ``--no-cache``
@@ -32,13 +64,18 @@ import hashlib
 import json
 import os
 import pickle
-import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from functools import lru_cache
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.denoise import DenoiseParams, solve_denoise
 from repro.apps.motion import MotionParams, solve_motion
@@ -49,14 +86,20 @@ from repro.data.denoise_data import make_denoise_dataset
 from repro.data.motion_data import load_flow
 from repro.data.segmentation_data import make_segmentation_dataset
 from repro.data.stereo_data import load_stereo
+from repro.experiments.journal import RunJournal
 from repro.util.errors import ConfigError
+from repro.util.integrity import EnvelopeError, atomic_write_bytes, dump_envelope, load_envelope
 
-#: Bump when solver semantics change in a way the task payload cannot
-#: see; invalidates every previously cached result.
-CACHE_FORMAT_VERSION = 1
+#: Bump when solver semantics — or the on-disk entry format — change in
+#: a way the task payload cannot see; invalidates every previously
+#: cached result.  Version 2 introduced the checksummed envelope.
+CACHE_FORMAT_VERSION = 2
 
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: File name of the interrupt manifest inside the cache directory.
+RESUME_MANIFEST_NAME = "resume-manifest.json"
 
 #: app name -> (solver, params class, dataset loader).  All four solvers
 #: share the ``(dataset, backend, params, rsu_config=, seed=)`` contract.
@@ -161,26 +204,123 @@ def _load_dataset(app: str, dataset_items: Tuple[Tuple[str, object], ...]):
     return loader(**dict(dataset_items))
 
 
+class TaskExecutionError(RuntimeError):
+    """A solve raised inside :func:`execute_task`.
+
+    The message carries the task's identity (cache-key prefix, app,
+    backend, seed) plus the original exception, so a failure surfacing
+    from an anonymous pool worker still names the exact design point
+    that produced it.  The original exception is chained as
+    ``__cause__`` (visible in local tracebacks; process-pool transport
+    preserves the message).
+    """
+
+
 def execute_task(task: SolveTask):
     """Run one task to completion; module-level so pool workers can pickle it."""
-    solver, params_cls, _ = APP_RUNNERS[task.app]
-    dataset = _load_dataset(task.app, task.dataset)
-    params = params_cls(**dict(task.params)) if task.params else params_cls()
-    return solver(
-        dataset,
-        task.backend,
-        params,
-        rsu_config=task.config,
-        seed=task.seed,
-        chains=task.chains,
-    )
+    try:
+        solver, params_cls, _ = APP_RUNNERS[task.app]
+        dataset = _load_dataset(task.app, task.dataset)
+        params = params_cls(**dict(task.params)) if task.params else params_cls()
+        return solver(
+            dataset,
+            task.backend,
+            params,
+            rsu_config=task.config,
+            seed=task.seed,
+            chains=task.chains,
+        )
+    except Exception as exc:
+        raise TaskExecutionError(
+            f"task {task.key()[:16]} (app={task.app}, backend={task.backend}, "
+            f"seed={task.seed}, chains={task.chains}) failed: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine treats failing, crashing, and hanging tasks.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per task (first run included) before quarantine.
+    timeout:
+        Wall-clock seconds a single attempt may run before the engine
+        declares it hung, kills its worker, and retries it in isolation.
+        ``None`` (default) never times out.  Enforced on the pool path;
+        when a timeout is set the engine routes execution through a pool
+        even at ``jobs=1`` so hangs stay preemptible.
+    backoff_base / backoff_cap:
+        Exponential backoff between attempts: ``base * 2**(attempt-1)``
+        seconds, capped.
+    poll_interval:
+        How often the pool loop wakes to check deadlines, worker starts,
+        and interrupts.
+    """
+
+    max_attempts: int = 3
+    timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    poll_interval: float = 0.05
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError(f"timeout must be positive, got {self.timeout}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigError("backoff must be non-negative")
+        if self.poll_interval <= 0:
+            raise ConfigError(f"poll_interval must be positive, got {self.poll_interval}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the attempt after ``attempt`` failures."""
+        return min(self.backoff_base * (2.0 ** (attempt - 1)), self.backoff_cap)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Explicit hole left in the results where a quarantined task was.
+
+    Callers iterating sweep results check ``isinstance(r, TaskFailure)``
+    (or :attr:`reason`) instead of the whole sweep aborting on one bad
+    design point.
+    """
+
+    key: str
+    app: str
+    backend: str
+    seed: int
+    attempts: int
+    reason: str  # "error" | "crash" | "timeout"
+    error: str
+
+    def __str__(self) -> str:
+        return (
+            f"TaskFailure({self.reason} after {self.attempts} attempts: "
+            f"app={self.app}, backend={self.backend}, seed={self.seed}, "
+            f"key={self.key[:16]}): {self.error}"
+        )
 
 
 _MISS = object()
 
 
 class ResultCache:
-    """Content-addressed pickle store under ``root`` (two-level fan-out)."""
+    """Content-addressed store under ``root`` (two-level fan-out).
+
+    Entries are pickles wrapped in the checksummed envelope from
+    :mod:`repro.util.integrity` (magic + :data:`CACHE_FORMAT_VERSION` +
+    SHA-256).  :meth:`load_entry` distinguishes a clean miss from a
+    *corrupt* entry — truncated, bit-flipped, or unpicklable files are
+    moved into ``<root>/quarantine/`` for post-mortem and reported so
+    the engine can recompute and recount them.  Entries from older
+    format versions (including pre-envelope raw pickles) are treated as
+    plain misses and overwritten on the next store.
+    """
 
     def __init__(self, root: os.PathLike):
         self.root = Path(root)
@@ -188,29 +328,60 @@ class ResultCache:
     def path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def load_entry(self, key: str) -> Tuple[str, object]:
+        """``("hit", value)``, ``("miss", None)``, or ``("corrupt", reason)``.
+
+        Corrupt entries are quarantined as a side effect.
+        """
+        target = self.path(key)
+        try:
+            return "hit", load_envelope(target, CACHE_FORMAT_VERSION)
+        except OSError:
+            return "miss", None
+        except EnvelopeError as exc:
+            if exc.reason in ("bad_magic", "version_mismatch"):
+                # A stale format, not damage: recompute and overwrite.
+                return "miss", None
+            self.quarantine(key)
+            return "corrupt", exc.reason
+
     def load(self, key: str):
         """The cached value, or the ``_MISS`` sentinel on any failure."""
-        target = self.path(key)
-        try:
-            with open(target, "rb") as handle:
-                return pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError, AttributeError):
-            return _MISS
+        status, value = self.load_entry(key)
+        return value if status == "hit" else _MISS
 
-    def store(self, key: str, value) -> None:
-        """Atomically persist ``value`` (write-to-temp + rename)."""
+    def quarantine(self, key: str) -> Optional[Path]:
+        """Move a damaged entry into the quarantine directory."""
         target = self.path(key)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+        destination = self.quarantine_dir / target.name
         try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, target)
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(target, destination)
         except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            return None
+        return destination
+
+    def store(self, key: str, value) -> Optional[str]:
+        """Persist ``value`` atomically; returns an error string or ``None``.
+
+        The value is pickled in memory first, so nothing touches disk if
+        it cannot be serialized, and :func:`atomic_write_bytes` removes
+        its temp file on any write failure — a failed store never leaks
+        a ``.tmp`` alongside the cache entries and never masks the
+        original exception.  Store failures are reported, not raised: a
+        full disk must not abort a sweep whose solve just succeeded.
+        """
+        target = self.path(key)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            dump_envelope(target, value, CACHE_FORMAT_VERSION)
+        except Exception as exc:  # noqa: BLE001 — any store failure is non-fatal
+            return f"{type(exc).__name__}: {exc}"
+        return None
 
 
 @dataclass
@@ -222,12 +393,32 @@ class EngineStats:
     deduplicated: int = 0
     executed: int = 0
     parallel_batches: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
+    pool_rebuilds: int = 0
+    cache_corrupt: int = 0
+    cache_store_failures: int = 0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.tasks} tasks: {self.executed} solved, "
             f"{self.cache_hits} cache hits, {self.deduplicated} deduplicated"
         )
+        if self.retries or self.timeouts or self.quarantined or self.pool_rebuilds:
+            text += (
+                f"; resilience: {self.retries} retries, {self.timeouts} timeouts, "
+                f"{self.quarantined} quarantined, {self.pool_rebuilds} pool rebuilds"
+            )
+        text += (
+            f"; cache integrity: {self.cache_corrupt} corrupt entries, "
+            f"{self.cache_store_failures} store failures"
+        )
+        return text
+
+
+class EngineInterrupted(RuntimeError):
+    """Internal: a trapped SIGINT/SIGTERM asked the batch to stop."""
 
 
 class ExperimentEngine:
@@ -236,12 +427,22 @@ class ExperimentEngine:
     Parameters
     ----------
     jobs:
-        Worker processes.  ``1`` executes inline (no pool, no pickling).
+        Worker processes.  ``1`` executes inline (no pool, no pickling)
+        unless a task timeout is set, which requires a preemptible pool.
     cache_dir:
         Root of the on-disk result cache.
     use_cache:
         Whether to consult/populate the cache.  Off by default for
         library callers; the CLI turns it on unless ``--no-cache``.
+    retry:
+        The :class:`RetryPolicy` governing retries, timeouts, and
+        quarantine.  Defaults to 3 attempts, no timeout.
+    journal / journal_path:
+        An existing :class:`RunJournal`, or a JSONL path to stream one
+        to.  Omitting both keeps an in-memory journal.
+    runner:
+        The callable executed per task (must be module-level picklable).
+        Injectable for the chaos tests; defaults to :func:`execute_task`.
     """
 
     def __init__(
@@ -249,58 +450,515 @@ class ExperimentEngine:
         jobs: int = 1,
         cache_dir: os.PathLike = DEFAULT_CACHE_DIR,
         use_cache: bool = False,
+        retry: Optional[RetryPolicy] = None,
+        journal: Optional[RunJournal] = None,
+        journal_path: Optional[os.PathLike] = None,
+        runner: Callable[[SolveTask], object] = execute_task,
     ):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.cache_root = Path(cache_dir)
         self.cache: Optional[ResultCache] = ResultCache(cache_dir) if use_cache else None
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.journal = journal if journal is not None else RunJournal(journal_path)
+        self.runner = runner
         self.stats = EngineStats()
+        self._batch = 0
+        self._interrupt: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Public API
 
     def run_tasks(self, tasks: Sequence[SolveTask]) -> List:
         """Execute every task; results are returned in task order.
 
         Identical tasks (same content key) are solved once; cache hits
         skip execution entirely.  The per-task seeding discipline makes
-        the output independent of ``jobs`` and of cache warmth.
+        the output independent of ``jobs``, of cache warmth, and of any
+        retries — a retried task reruns from its own seed, so recovery
+        never perturbs results.
+
+        A task that exhausts :attr:`RetryPolicy.max_attempts` occupies
+        its result slot with a :class:`TaskFailure` instead of aborting
+        the batch.  Completed results are cached as they finish; a
+        trapped SIGINT/SIGTERM flushes nothing further, writes the
+        resume manifest, and re-raises as :class:`KeyboardInterrupt`.
         """
         tasks = list(tasks)
         self.stats.tasks += len(tasks)
         keys = [task.key() for task in tasks]
         results: List = [None] * len(tasks)
         pending: Dict[str, List[int]] = {}
-        for index, key in enumerate(keys):
+        for index, (task, key) in enumerate(zip(tasks, keys)):
             if self.cache is not None:
-                value = self.cache.load(key)
-                if value is not _MISS:
+                status, value = self.cache.load_entry(key)
+                if status == "hit":
                     results[index] = value
                     self.stats.cache_hits += 1
                     continue
+                if status == "corrupt":
+                    self.stats.cache_corrupt += 1
+                    self.journal.record(
+                        "cache_corrupt",
+                        severity="warning",
+                        batch=self._batch + 1,
+                        position=index,
+                        task=task,
+                        reason=value,
+                    )
             if key in pending:
                 self.stats.deduplicated += 1
             pending.setdefault(key, []).append(index)
 
         unique = [(key, tasks[indices[0]]) for key, indices in pending.items()]
         if unique:
-            outcomes = self._execute([task for _, task in unique])
-            self.stats.executed += len(unique)
-            for (key, _), outcome in zip(unique, outcomes):
+            self._batch += 1
+            unique_keys = [key for key, _ in unique]
+            unique_tasks = [task for _, task in unique]
+            outcomes: List = [None] * len(unique)
+
+            def on_done(slot: int, outcome) -> None:
+                outcomes[slot] = outcome
+                if isinstance(outcome, TaskFailure):
+                    return
+                self.stats.executed += 1
                 if self.cache is not None:
-                    self.cache.store(key, outcome)
+                    error = self.cache.store(unique_keys[slot], outcome)
+                    if error is not None:
+                        self.stats.cache_store_failures += 1
+                        self.journal.record(
+                            "cache_store_failed",
+                            severity="warning",
+                            batch=self._batch,
+                            position=slot,
+                            task=unique_tasks[slot],
+                            error=error,
+                        )
+
+            with self._trap_signals():
+                try:
+                    self._execute(unique_tasks, unique_keys, on_done)
+                except EngineInterrupted:
+                    self._on_interrupt(tasks, keys)
+                    raise KeyboardInterrupt(
+                        "experiment batch interrupted; completed results are cached"
+                    ) from None
+            for (key, _), outcome in zip(unique, outcomes):
                 for index in pending[key]:
                     results[index] = outcome
+        if self.cache is not None:
+            # The batch ran to completion: any stale interrupt manifest
+            # no longer describes reality.
+            self.clear_resume_manifest()
         return results
 
     def run_task(self, task: SolveTask):
         """Convenience wrapper for a single task."""
         return self.run_tasks([task])[0]
 
-    def _execute(self, tasks: List[SolveTask]) -> List:
-        if self.jobs > 1 and len(tasks) > 1:
+    # ------------------------------------------------------------------
+    # Resume manifest
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.cache_root / RESUME_MANIFEST_NAME
+
+    def write_resume_manifest(self, tasks, keys, signal_number=None) -> Optional[dict]:
+        """Record which keys of an interrupted batch are already cached."""
+        if self.cache is None:
+            return None
+        unique_keys = list(dict.fromkeys(keys))
+        by_key = {key: task for task, key in zip(tasks, keys)}
+        done = [k for k in unique_keys if self.cache.path(k).exists()]
+        outstanding = [k for k in unique_keys if not self.cache.path(k).exists()]
+        manifest = {
+            "version": 1,
+            "signal": signal_number,
+            "batch": self._batch,
+            "total": len(unique_keys),
+            "completed": len(done),
+            "outstanding": [
+                {
+                    "key": k,
+                    "app": by_key[k].app,
+                    "backend": by_key[k].backend,
+                    "seed": by_key[k].seed,
+                }
+                for k in outstanding
+            ],
+        }
+        blob = json.dumps(manifest, sort_keys=True, indent=2).encode("utf-8")
+        try:
+            self.cache_root.mkdir(parents=True, exist_ok=True)
+            atomic_write_bytes(self.manifest_path, blob)
+        except OSError:
+            return None
+        return manifest
+
+    def read_resume_manifest(self) -> Optional[dict]:
+        """The manifest left by an interrupted run, if any."""
+        try:
+            with open(self.manifest_path, encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def clear_resume_manifest(self) -> None:
+        try:
+            os.unlink(self.manifest_path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def _execute(self, tasks: List[SolveTask], keys: List[str], on_done) -> None:
+        pooled = self.jobs > 1 and len(tasks) > 1
+        if pooled:
             self.stats.parallel_batches += 1
-            workers = min(self.jobs, len(tasks))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(execute_task, tasks))
-        return [execute_task(task) for task in tasks]
+        if pooled or self.retry.timeout is not None:
+            self._execute_pool(tasks, keys, on_done)
+        else:
+            self._execute_inline(tasks, keys, on_done)
+
+    def _execute_inline(self, tasks, keys, on_done) -> None:
+        """Sequential path: retry/quarantine without a pool.
+
+        Hangs are not preemptible here; set a timeout to force the pool
+        path.
+        """
+        for slot, (task, key) in enumerate(zip(tasks, keys)):
+            attempts = 0
+            while True:
+                self._check_interrupt()
+                attempts += 1
+                try:
+                    outcome = self.runner(task)
+                except Exception as exc:  # noqa: BLE001 — retried/quarantined
+                    error = f"{type(exc).__name__}: {exc}"
+                    if attempts >= self.retry.max_attempts:
+                        self._quarantine_task(
+                            slot, task, key, attempts, "error", error, on_done
+                        )
+                        break
+                    self.stats.retries += 1
+                    self.journal.record(
+                        "task_retry",
+                        severity="warning",
+                        batch=self._batch,
+                        position=slot,
+                        attempt=attempts,
+                        task=task,
+                        error=error,
+                    )
+                    time.sleep(self.retry.delay(attempts))
+                else:
+                    on_done(slot, outcome)
+                    break
+
+    def _execute_pool(self, tasks, keys, on_done) -> None:
+        """Pool path: waves of parallel submission + isolation re-runs.
+
+        Positions cycle between two queues.  ``queue`` holds tasks safe
+        to co-schedule in a shared pool; a wave runs them and reports
+        which came back (``requeue``) versus which need solo vetting
+        (``suspects`` — in flight when the pool broke, or overdue).
+        Suspects run one at a time in single-worker pools so a crash or
+        hang convicts exactly one task.
+        """
+        attempts = [0] * len(tasks)
+        queue = deque(range(len(tasks)))
+        isolate: deque = deque()
+        while queue or isolate:
+            self._check_interrupt()
+            if queue:
+                requeue, suspects = self._run_wave(
+                    list(queue), tasks, keys, on_done, attempts
+                )
+                queue = deque(requeue)
+                isolate.extend(suspects)
+            while isolate:
+                self._check_interrupt()
+                self._run_isolated(isolate.popleft(), tasks, keys, on_done, attempts)
+
+    def _run_wave(self, positions, tasks, keys, on_done, attempts):
+        """One shared-pool wave; returns ``(requeue, suspects)``."""
+        workers = max(1, min(self.jobs, len(positions)))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures = {pool.submit(self.runner, tasks[p]): p for p in positions}
+        waiting = set(futures)
+        started: set = set()
+        deadlines: Dict[int, float] = {}
+        requeue: List[int] = []
+        suspects: List[int] = []
+        crashed: List[int] = []
+        killed = False
+        try:
+            while waiting:
+                if self._interrupt is not None:
+                    self._kill_pool(pool, waiting)
+                    killed = True
+                    raise EngineInterrupted()
+                done, waiting = wait(
+                    waiting, timeout=self.retry.poll_interval, return_when=FIRST_COMPLETED
+                )
+                now = time.monotonic()
+                for future in waiting:
+                    p = futures[future]
+                    if p not in started and future.running():
+                        started.add(p)
+                        if self.retry.timeout is not None:
+                            deadlines[p] = now + self.retry.timeout
+                broken = False
+                for future in done:
+                    p = futures[future]
+                    started.add(p)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        crashed.append(p)
+                    except Exception as exc:  # noqa: BLE001 — retried/quarantined
+                        self._wave_failure(p, tasks, keys, attempts, exc, requeue, on_done)
+                    else:
+                        on_done(p, outcome)
+                if broken:
+                    # A worker died; every remaining future of this pool
+                    # is doomed.  Whoever was observed running is a
+                    # suspect; never-started tasks are requeued blame-free.
+                    self.stats.pool_rebuilds += 1
+                    victims = crashed + [futures[f] for f in waiting]
+                    # Surviving workers may be mid-solve (or hung); the
+                    # broken pool can never deliver their results, so
+                    # kill them instead of joining them in shutdown.
+                    self._kill_pool(pool, waiting)
+                    killed = True
+                    waiting = set()
+                    guilty = [p for p in victims if p in started]
+                    innocent = [p for p in victims if p not in started]
+                    if not guilty:
+                        # The crash fell between polls and nobody was
+                        # caught running — vet everyone solo so a crash
+                        # loop cannot cycle forever.
+                        guilty, innocent = victims, []
+                    suspects.extend(guilty)
+                    requeue.extend(innocent)
+                    self.journal.record(
+                        "pool_rebuild",
+                        severity="warning",
+                        batch=self._batch,
+                        suspects=len(guilty),
+                        requeued=len(innocent),
+                    )
+                    break
+                if deadlines and waiting:
+                    overdue = [
+                        futures[f] for f in waiting if deadlines.get(futures[f], now + 1) <= now
+                    ]
+                    if overdue:
+                        # Kill the hung worker(s) — which takes the whole
+                        # pool — and resubmit the unlucky bystanders.
+                        self._kill_pool(pool, waiting)
+                        killed = True
+                        self.stats.pool_rebuilds += 1
+                        overdue_set = set(overdue)
+                        bystanders = [
+                            futures[f] for f in waiting if futures[f] not in overdue_set
+                        ]
+                        waiting = set()
+                        for p in overdue:
+                            attempts[p] += 1
+                            self.stats.timeouts += 1
+                            error = f"no result within {self.retry.timeout:g}s"
+                            self.journal.record(
+                                "task_timeout",
+                                severity="warning",
+                                batch=self._batch,
+                                position=p,
+                                attempt=attempts[p],
+                                task=tasks[p],
+                                error=error,
+                            )
+                            if attempts[p] >= self.retry.max_attempts:
+                                self._quarantine_task(
+                                    p, tasks[p], keys[p], attempts[p], "timeout", error, on_done
+                                )
+                            else:
+                                suspects.append(p)
+                        requeue.extend(bystanders)
+                        self.journal.record(
+                            "pool_rebuild",
+                            severity="warning",
+                            batch=self._batch,
+                            suspects=len(overdue),
+                            requeued=len(bystanders),
+                        )
+                        break
+        finally:
+            if killed:
+                pool.shutdown(wait=False, cancel_futures=True)
+            else:
+                pool.shutdown(wait=True, cancel_futures=True)
+        return requeue, suspects
+
+    def _wave_failure(self, p, tasks, keys, attempts, exc, requeue, on_done) -> None:
+        """An ordinary exception inside a wave: retry or quarantine."""
+        attempts[p] += 1
+        error = f"{type(exc).__name__}: {exc}"
+        if attempts[p] >= self.retry.max_attempts:
+            self._quarantine_task(p, tasks[p], keys[p], attempts[p], "error", error, on_done)
+            return
+        self.stats.retries += 1
+        self.journal.record(
+            "task_retry",
+            severity="warning",
+            batch=self._batch,
+            position=p,
+            attempt=attempts[p],
+            task=tasks[p],
+            error=error,
+        )
+        time.sleep(self.retry.delay(attempts[p]))
+        requeue.append(p)
+
+    def _run_isolated(self, p, tasks, keys, on_done, attempts) -> None:
+        """Vet one suspect in a private single-worker pool.
+
+        A crash or hang here convicts exactly this task; success clears
+        it and delivers its result normally.
+        """
+        task, key = tasks[p], keys[p]
+        kind_by_reason = {
+            "timeout": "task_timeout",
+            "crash": "task_crash",
+            "error": "task_error",
+        }
+        while True:
+            self._check_interrupt()
+            attempts[p] += 1
+            pool = ProcessPoolExecutor(max_workers=1)
+            future = pool.submit(self.runner, task)
+            reason = error = None
+            try:
+                outcome = future.result(timeout=self.retry.timeout)
+            except FuturesTimeout:
+                reason = "timeout"
+                error = f"no result within {self.retry.timeout:g}s (isolated)"
+                self.stats.timeouts += 1
+                self._kill_pool(pool, (future,))
+            except BrokenProcessPool:
+                reason = "crash"
+                error = "worker process died (isolated)"
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception as exc:  # noqa: BLE001 — retried/quarantined
+                reason = "error"
+                error = f"{type(exc).__name__}: {exc}"
+                pool.shutdown(wait=True)
+            else:
+                pool.shutdown(wait=True)
+                on_done(p, outcome)
+                return
+            self.journal.record(
+                kind_by_reason[reason],
+                severity="warning",
+                batch=self._batch,
+                position=p,
+                attempt=attempts[p],
+                task=task,
+                error=error,
+            )
+            if attempts[p] >= self.retry.max_attempts:
+                self._quarantine_task(p, task, key, attempts[p], reason, error, on_done)
+                return
+            self.stats.retries += 1
+            time.sleep(self.retry.delay(attempts[p]))
+
+    def _quarantine_task(self, slot, task, key, attempts, reason, error, on_done) -> None:
+        """Give up on a task: journal it and leave an explicit hole."""
+        self.stats.quarantined += 1
+        self.journal.record(
+            "task_quarantined",
+            severity="error",
+            batch=self._batch,
+            position=slot,
+            attempt=attempts,
+            task=task,
+            reason=reason,
+            error=error,
+        )
+        on_done(
+            slot,
+            TaskFailure(
+                key=key,
+                app=task.app,
+                backend=task.backend,
+                seed=task.seed,
+                attempts=attempts,
+                reason=reason,
+                error=error,
+            ),
+        )
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor, waiting=()) -> None:
+        """Forcibly tear down a pool whose workers may be hung."""
+        for future in waiting:
+            future.cancel()
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:  # noqa: BLE001 — already-dead workers are fine
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Interrupt handling
+
+    def _check_interrupt(self) -> None:
+        if self._interrupt is not None:
+            raise EngineInterrupted()
+
+    @contextmanager
+    def _trap_signals(self):
+        """Trap SIGINT/SIGTERM for the duration of a batch.
+
+        The handler only sets a flag; the execution loops notice it at
+        the next safe point, so completed results are flushed and the
+        resume manifest written before the interrupt propagates.  No-op
+        off the main thread (signal handlers cannot be installed there).
+        """
+        self._interrupt = None
+        installed = {}
+        if threading.current_thread() is threading.main_thread():
+
+            def handler(signum, frame):
+                self._interrupt = signum
+
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    installed[sig] = signal.signal(sig, handler)
+                except (ValueError, OSError):
+                    pass
+        try:
+            yield
+        finally:
+            for sig, previous in installed.items():
+                signal.signal(sig, previous)
+
+    def _on_interrupt(self, tasks, keys) -> None:
+        signum = self._interrupt
+        manifest = self.write_resume_manifest(tasks, keys, signal_number=signum)
+        self.journal.record(
+            "interrupted",
+            severity="warning",
+            batch=self._batch,
+            signal=int(signum) if signum is not None else None,
+            completed=manifest["completed"] if manifest else None,
+            total=manifest["total"] if manifest else len(set(keys)),
+        )
+        self._interrupt = None
 
 
 #: Ambient engine used by the experiment modules; sequential/cache-less

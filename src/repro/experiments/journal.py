@@ -1,0 +1,105 @@
+"""Structured run journal for the resilient experiment engine.
+
+Every recovery decision the engine takes — a task retried after a
+worker exception, a hung solve timed out, a crashed pool rebuilt, a
+poison task quarantined, a corrupt cache entry set aside, an interrupt
+manifest written — is recorded in the same structured shape as the
+:class:`repro.faults.incidents.IncidentLog` used by the device-level
+resilient driver, and (optionally) streamed to a JSONL file as it
+happens, so a run that dies mid-sweep still leaves a complete record of
+everything it recovered from.
+
+Field mapping for engine events: ``sweep`` carries the engine's batch
+counter (the Nth ``run_tasks`` call), ``site`` the task's position
+within that batch, ``attempt`` the attempt number, and ``detail`` the
+task identity (cache-key prefix, app, backend, seed) plus the error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.faults.incidents import Incident, IncidentLog
+
+#: Journal event kinds emitted by the engine, for reference and tests.
+TASK_KINDS = (
+    "task_retry",
+    "task_timeout",
+    "task_crash",
+    "task_error",
+    "task_quarantined",
+)
+ENGINE_KINDS = TASK_KINDS + (
+    "pool_rebuild",
+    "cache_corrupt",
+    "cache_store_failed",
+    "interrupted",
+)
+
+
+class RunJournal:
+    """Append-only engine journal; optionally mirrored to a JSONL file.
+
+    The in-memory log is a plain :class:`IncidentLog` (same dataclass,
+    same deterministic serialization); when ``path`` is given every
+    record is appended to the file and flushed immediately — a crash
+    loses at most the event being written.
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None):
+        self.log = IncidentLog()
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def record(
+        self,
+        kind: str,
+        severity: str = "info",
+        batch: int = 0,
+        position: Optional[int] = None,
+        attempt: Optional[int] = None,
+        task=None,
+        **detail,
+    ) -> Incident:
+        """Append one event; ``task`` (a SolveTask) contributes identity."""
+        if task is not None:
+            detail.setdefault("key", task.key()[:16])
+            detail.setdefault("app", task.app)
+            detail.setdefault("backend", task.backend)
+            detail.setdefault("seed", task.seed)
+            if task.chains != 1:
+                detail.setdefault("chains", task.chains)
+        incident = self.log.record(
+            sweep=batch,
+            kind=kind,
+            severity=severity,
+            site=position,
+            attempt=attempt,
+            **detail,
+        )
+        if self.path is not None:
+            line = json.dumps(
+                incident.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+        return incident
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Histogram of event kinds (delegates to the incident log)."""
+        return self.log.counts_by_kind()
+
+    def of_kind(self, kind: str):
+        """All events of one kind, in order."""
+        return self.log.of_kind(kind)
+
+    def __len__(self) -> int:
+        return len(self.log)
+
+    def __iter__(self):
+        return iter(self.log)

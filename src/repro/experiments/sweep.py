@@ -20,7 +20,7 @@ from repro.apps.motion import MotionParams
 from repro.apps.segmentation import SegmentationParams
 from repro.apps.stereo import StereoParams
 from repro.core.params import new_design_config
-from repro.experiments.engine import get_engine, solve_task
+from repro.experiments.engine import TaskFailure, get_engine, solve_task
 from repro.experiments.profiles import FULL, Profile
 from repro.experiments.result import ExperimentResult
 from repro.util.errors import ConfigError
@@ -114,12 +114,26 @@ def run_sweep(
         for value in values
     ]
     outcomes = get_engine().run_tasks(tasks)
-    rows = [[value, metric_of(result)] for value, result in zip(values, outcomes)]
+    rows = []
+    failed_points = []
+    for value, result in zip(values, outcomes):
+        if isinstance(result, TaskFailure):
+            # A quarantined design point is an explicit hole, not an
+            # abort: the sweep reports every healthy point.
+            rows.append([value, float("nan")])
+            failed_points.append(
+                {"value": value, "reason": result.reason, "error": result.error}
+            )
+        else:
+            rows.append([value, metric_of(result)])
     series = [row[1] for row in rows]
+    extra = {"series": {metric_name: series}}
+    if failed_points:
+        extra["failed_points"] = failed_points
     return ExperimentResult(
         experiment_id=f"sweep:{param}:{app}",
         title=f"{app} quality vs {param} (new design, other fields default)",
         columns=[param, metric_name],
         rows=rows,
-        extra={"series": {metric_name: series}},
+        extra=extra,
     )

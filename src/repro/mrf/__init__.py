@@ -8,6 +8,13 @@ from repro.mrf.annealing import (
     geometric_for_span,
 )
 from repro.mrf.batch import BatchedSweepWorkspace, EnsembleResult, EnsembleSolver
+from repro.mrf.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointWriter,
+    SolveCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.mrf.kernel import SweepWorkspace
 from repro.mrf.model import GridMRF, checkerboard_masks, coloring_masks
 from repro.mrf.solver import MCMCSolver, SolveResult
@@ -31,6 +38,11 @@ __all__ = [
     "MCMCSolver",
     "SolveResult",
     "SweepWorkspace",
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointWriter",
+    "SolveCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
     "BatchedSweepWorkspace",
     "EnsembleResult",
     "EnsembleSolver",

@@ -38,8 +38,14 @@ import numpy as np
 
 from repro.core.base import SamplerBackend, SampleScratch
 from repro.mrf.annealing import Schedule
+from repro.mrf.checkpoint import (
+    CheckpointWriter,
+    SolveCheckpoint,
+    resolve_checkpoint,
+)
 from repro.mrf.model import GridMRF, coloring_masks
 from repro.mrf.solver import MCMCSolver, SolveResult
+from repro.rng.streams import generator_state, set_generator_state
 from repro.util.errors import ConfigError, DataError
 
 
@@ -333,33 +339,140 @@ class EnsembleSolver:
     def n_chains(self) -> int:
         return len(self._solvers)
 
-    def run(self, iterations: int) -> EnsembleResult:
-        """Run every chain for ``iterations`` sweeps; pick the best."""
+    def snapshot(
+        self,
+        sweep: int,
+        states: np.ndarray,
+        histories: List[List[float]],
+        temperature_history: List[float],
+    ) -> SolveCheckpoint:
+        """Resumable checkpoint of the whole ensemble after ``sweep`` sweeps."""
+        return SolveCheckpoint(
+            kind="ensemble",
+            sweep=sweep,
+            labels=np.array(states, dtype=np.int64, copy=True),
+            rng={
+                "chains": [
+                    {
+                        "solver": generator_state(solver._rng),
+                        "sampler": solver.sampler.getstate(),
+                    }
+                    for solver in self._solvers
+                ],
+            },
+            history={
+                "energy": [list(row) for row in histories],
+                "temperature": list(temperature_history),
+            },
+            meta={"shape": tuple(self.model.shape), "chains": self.n_chains},
+        )
+
+    def _restore(self, checkpoint: SolveCheckpoint, iterations: int):
+        """(start sweep, states, histories, temperature history)."""
+        if checkpoint.sweep >= iterations:
+            raise ConfigError(
+                f"checkpoint already has {checkpoint.sweep} sweeps; "
+                f"cannot resume a {iterations}-sweep run"
+            )
+        states = np.array(checkpoint.labels, dtype=np.int64, copy=True)
+        expected = (self.n_chains,) + self.model.shape
+        if states.shape != expected:
+            raise ConfigError(
+                f"checkpoint states shape {states.shape} != ensemble shape {expected}"
+            )
+        for solver, chain_state in zip(self._solvers, checkpoint.rng["chains"]):
+            set_generator_state(solver._rng, chain_state["solver"])
+            solver.sampler.setstate(chain_state["sampler"])
+        histories = [list(row) for row in checkpoint.history["energy"]]
+        temperature_history = list(checkpoint.history["temperature"])
+        return checkpoint.sweep, states, histories, temperature_history
+
+    def run(
+        self,
+        iterations: int,
+        *,
+        checkpoint_every: int = 0,
+        checkpoint_path=None,
+        checkpoint_sink=None,
+        resume=None,
+    ) -> EnsembleResult:
+        """Run every chain for ``iterations`` sweeps; pick the best.
+
+        ``checkpoint_every=N`` snapshots all K chains every N sweeps
+        (batched path; the K-sequential oracle runs its chains to
+        completion one by one, so it cannot emit ensemble-wide
+        snapshots).  ``resume`` accepts an ``ensemble``
+        :class:`~repro.mrf.checkpoint.SolveCheckpoint` (or a path) and
+        continues byte-identically on either path.
+        """
         if iterations < 1:
             raise ConfigError(f"iterations must be >= 1, got {iterations}")
+        writer = CheckpointWriter(checkpoint_every, checkpoint_path, checkpoint_sink)
+        checkpoint = resolve_checkpoint(resume, "ensemble")
         if self.use_batched and self.n_chains > 1:
-            return self._run_batched(iterations)
-        return self._run_sequential(iterations)
+            return self._run_batched(iterations, writer, checkpoint)
+        if writer.enabled:
+            raise ConfigError(
+                "ensemble checkpointing requires the batched path "
+                "(use_batched=True and chains > 1)"
+            )
+        return self._run_sequential(iterations, checkpoint)
 
-    def _run_sequential(self, iterations: int) -> EnsembleResult:
-        results = [solver.run(iterations) for solver in self._solvers]
+    def _run_sequential(
+        self, iterations: int, checkpoint: Optional[SolveCheckpoint] = None
+    ) -> EnsembleResult:
+        chain_resumes: List[Optional[SolveCheckpoint]] = [None] * self.n_chains
+        if checkpoint is not None:
+            # Split the ensemble snapshot into per-chain solver
+            # checkpoints; each sequential chain resumes independently.
+            start, states, histories, temperature_history = self._restore(
+                checkpoint, iterations
+            )
+            chain_resumes = [
+                SolveCheckpoint(
+                    kind="solver",
+                    sweep=start,
+                    labels=states[k],
+                    rng=checkpoint.rng["chains"][k],
+                    history={
+                        "energy": histories[k],
+                        "temperature": temperature_history,
+                    },
+                )
+                for k in range(self.n_chains)
+            ]
+        results = [
+            solver.run(iterations, resume=chain_resume)
+            for solver, chain_resume in zip(self._solvers, chain_resumes)
+        ]
         return self._assemble(
             np.stack([result.labels for result in results]),
             [result.energy_history for result in results],
             results[0].temperature_history,
         )
 
-    def _run_batched(self, iterations: int) -> EnsembleResult:
+    def _run_batched(
+        self,
+        iterations: int,
+        writer: Optional[CheckpointWriter] = None,
+        checkpoint: Optional[SolveCheckpoint] = None,
+    ) -> EnsembleResult:
         chains = self.n_chains
-        states = np.stack([solver.initial_labels() for solver in self._solvers])
+        if checkpoint is not None:
+            start, states, histories, temperature_history = self._restore(
+                checkpoint, iterations
+            )
+        else:
+            start = 0
+            states = np.stack([solver.initial_labels() for solver in self._solvers])
+            histories = [[] for _ in range(chains)]
+            temperature_history = []
         samplers = [solver.sampler for solver in self._solvers]
         wants = [solver._wants_current for solver in self._solvers]
         masks = coloring_masks(self.model.shape, self.model.connectivity)
         workspace = BatchedSweepWorkspace(self.model, masks, chains)
         workspace.bind(states)
-        histories: List[List[float]] = [[] for _ in range(chains)]
-        temperature_history: List[float] = []
-        for iteration in range(iterations):
+        for iteration in range(start, iterations):
             temperature = self.schedule.temperature(iteration)
             workspace.sweep(states, [temperature] * chains, samplers, wants)
             temperature_history.append(temperature)
@@ -368,6 +481,13 @@ class EnsembleSolver:
                     self.model.total_energy(states[k])
                     if self.track_energy
                     else float("nan")
+                )
+            if writer is not None:
+                writer.maybe_emit(
+                    iteration + 1,
+                    lambda: self.snapshot(
+                        iteration + 1, states, histories, temperature_history
+                    ),
                 )
         return self._assemble(states, histories, temperature_history)
 

@@ -19,8 +19,14 @@ import numpy as np
 
 from repro.core.base import SamplerBackend
 from repro.mrf.annealing import Schedule
+from repro.mrf.checkpoint import (
+    CheckpointWriter,
+    SolveCheckpoint,
+    resolve_checkpoint,
+)
 from repro.mrf.kernel import SweepWorkspace
 from repro.mrf.model import GridMRF, coloring_masks
+from repro.rng.streams import generator_state, set_generator_state
 from repro.util.errors import ConfigError
 
 
@@ -139,24 +145,92 @@ class MCMCSolver:
                 labels[mask] = self.sampler.sample(energies, temperature)
         return labels
 
+    def snapshot(self, sweep: int, labels: np.ndarray, result: SolveResult) -> SolveCheckpoint:
+        """Resumable checkpoint after ``sweep`` completed sweeps.
+
+        Captures a copy of the labels, the recorded histories, and the
+        full RNG state of both the solver (initialization generator) and
+        the sampler backend — everything :meth:`run` needs to continue
+        byte-identically from this point.
+        """
+        return SolveCheckpoint(
+            kind="solver",
+            sweep=sweep,
+            labels=np.array(labels, dtype=np.int64, copy=True),
+            rng={
+                "solver": generator_state(self._rng),
+                "sampler": self.sampler.getstate(),
+            },
+            history={
+                "energy": list(result.energy_history),
+                "temperature": list(result.temperature_history),
+            },
+            meta={"shape": tuple(self.model.shape), "sampler": self.sampler.name},
+        )
+
+    def _restore(self, checkpoint: SolveCheckpoint, iterations: int):
+        """(start sweep, labels, prefilled result) from a checkpoint."""
+        if checkpoint.sweep >= iterations:
+            raise ConfigError(
+                f"checkpoint already has {checkpoint.sweep} sweeps; "
+                f"cannot resume a {iterations}-sweep run"
+            )
+        labels = np.array(checkpoint.labels, dtype=np.int64, copy=True)
+        if labels.shape != self.model.shape:
+            raise ConfigError(
+                f"checkpoint labels shape {labels.shape} != grid shape {self.model.shape}"
+            )
+        expected = checkpoint.meta.get("sampler")
+        if expected is not None and expected != self.sampler.name:
+            raise ConfigError(
+                f"checkpoint was taken with sampler {expected!r}, "
+                f"this solver uses {self.sampler.name!r}"
+            )
+        set_generator_state(self._rng, checkpoint.rng["solver"])
+        self.sampler.setstate(checkpoint.rng["sampler"])
+        result = SolveResult(
+            labels=labels,
+            energy_history=list(checkpoint.history["energy"]),
+            temperature_history=list(checkpoint.history["temperature"]),
+        )
+        return checkpoint.sweep, labels, result
+
     def run(
         self,
         iterations: int,
         callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
+        *,
+        checkpoint_every: int = 0,
+        checkpoint_path=None,
+        checkpoint_sink=None,
+        resume=None,
     ) -> SolveResult:
         """Run ``iterations`` sweeps and return the result.
 
         ``callback(iteration, labels, temperature)`` is invoked after
         each sweep (labels passed by reference; copy if retained).
+
+        ``checkpoint_every=N`` snapshots the solve every N sweeps to
+        ``checkpoint_path`` (atomic checksummed envelope) and/or
+        ``checkpoint_sink`` (a callable).  ``resume`` accepts a
+        :class:`~repro.mrf.checkpoint.SolveCheckpoint` or a path to one;
+        the resumed run continues byte-identically — same labels, same
+        histories, same RNG stream consumption — as if never interrupted.
         """
         if iterations < 1:
             raise ConfigError(f"iterations must be >= 1, got {iterations}")
-        labels = self.initial_labels()
-        result = SolveResult(labels=labels)
+        writer = CheckpointWriter(checkpoint_every, checkpoint_path, checkpoint_sink)
+        checkpoint = resolve_checkpoint(resume, "solver")
+        if checkpoint is not None:
+            start, labels, result = self._restore(checkpoint, iterations)
+        else:
+            start = 0
+            labels = self.initial_labels()
+            result = SolveResult(labels=labels)
         workspace = self.workspace if self.use_fused else None
         if workspace is not None:
             workspace.bind(labels)
-        for k in range(iterations):
+        for k in range(start, iterations):
             temperature = self.schedule.temperature(k)
             if workspace is not None:
                 workspace.sweep(labels, temperature, self.sampler, self._wants_current)
@@ -173,5 +247,6 @@ class MCMCSolver:
                     # The callback may have mutated the labels it was
                     # handed; resynchronize the padded mirror.
                     workspace.bind(labels)
+            writer.maybe_emit(k + 1, lambda: self.snapshot(k + 1, labels, result))
         result.labels = labels
         return result

@@ -27,15 +27,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.base import SamplerBackend
 from repro.mrf.annealing import ConstantSchedule
 from repro.mrf.batch import BatchedSweepWorkspace
+from repro.mrf.checkpoint import (
+    CheckpointWriter,
+    SolveCheckpoint,
+    resolve_checkpoint,
+)
 from repro.mrf.model import GridMRF, coloring_masks
 from repro.mrf.solver import MCMCSolver
+from repro.rng.streams import generator_state, set_generator_state
 from repro.util.errors import ConfigError
 
 
@@ -141,13 +147,96 @@ class ParallelTempering:
             for index, temperature in enumerate(temps)
         ]
 
-    def run(self, sweeps: int) -> TemperingResult:
-        """Run all replicas for ``sweeps`` sweeps with periodic swaps."""
+    def snapshot(
+        self, sweep: int, states: np.ndarray, result: TemperingResult
+    ) -> SolveCheckpoint:
+        """Resumable checkpoint of the whole ladder after ``sweep`` sweeps.
+
+        Captures every replica's label grid (chain-stacked), the swap
+        generator, each replica's solver and sampler RNG state, and the
+        swap bookkeeping — the complete state both the batched and the
+        sequential run paths consume.
+        """
+        return SolveCheckpoint(
+            kind="tempering",
+            sweep=sweep,
+            labels=np.array(states, dtype=np.int64, copy=True),
+            rng={
+                "swap": generator_state(self._rng),
+                "chains": [
+                    {
+                        "solver": generator_state(solver._rng),
+                        "sampler": solver.sampler.getstate(),
+                    }
+                    for solver in self._solvers
+                ],
+            },
+            history={
+                "energy": [list(row) for row in result.energy_history],
+                "swap_attempts": result.swap_attempts,
+                "swaps_accepted": result.swaps_accepted,
+            },
+            meta={
+                "shape": tuple(self.model.shape),
+                "temperatures": list(self.temperatures),
+            },
+        )
+
+    def _restore(self, checkpoint: SolveCheckpoint, sweeps: int):
+        """(start sweep, (K, H, W) states, prefilled result) from a checkpoint."""
+        if checkpoint.sweep >= sweeps:
+            raise ConfigError(
+                f"checkpoint already has {checkpoint.sweep} sweeps; "
+                f"cannot resume a {sweeps}-sweep run"
+            )
+        chains = len(self._solvers)
+        states = np.array(checkpoint.labels, dtype=np.int64, copy=True)
+        expected = (chains,) + self.model.shape
+        if states.shape != expected:
+            raise ConfigError(
+                f"checkpoint states shape {states.shape} != ladder shape {expected}"
+            )
+        saved_temps = checkpoint.meta.get("temperatures")
+        if saved_temps is not None and list(saved_temps) != list(self.temperatures):
+            raise ConfigError(
+                f"checkpoint ladder {saved_temps} != this ladder {self.temperatures}"
+            )
+        set_generator_state(self._rng, checkpoint.rng["swap"])
+        for solver, chain_state in zip(self._solvers, checkpoint.rng["chains"]):
+            set_generator_state(solver._rng, chain_state["solver"])
+            solver.sampler.setstate(chain_state["sampler"])
+        result = TemperingResult(
+            labels=states[0],
+            temperatures=self.temperatures,
+            energy_history=[list(row) for row in checkpoint.history["energy"]],
+            swap_attempts=checkpoint.history["swap_attempts"],
+            swaps_accepted=checkpoint.history["swaps_accepted"],
+        )
+        return checkpoint.sweep, states, result
+
+    def run(
+        self,
+        sweeps: int,
+        *,
+        checkpoint_every: int = 0,
+        checkpoint_path=None,
+        checkpoint_sink=None,
+        resume=None,
+    ) -> TemperingResult:
+        """Run all replicas for ``sweeps`` sweeps with periodic swaps.
+
+        ``checkpoint_every=N`` snapshots the ladder every N sweeps to
+        ``checkpoint_path`` / ``checkpoint_sink``; ``resume`` accepts a
+        ``tempering`` :class:`~repro.mrf.checkpoint.SolveCheckpoint` (or
+        a path) and continues byte-identically on either run path.
+        """
         if sweeps < 1:
             raise ConfigError("sweeps must be >= 1")
+        writer = CheckpointWriter(checkpoint_every, checkpoint_path, checkpoint_sink)
+        checkpoint = resolve_checkpoint(resume, "tempering")
         if self.use_batched:
-            return self._run_batched(sweeps)
-        return self._run_sequential(sweeps)
+            return self._run_batched(sweeps, writer, checkpoint)
+        return self._run_sequential(sweeps, writer, checkpoint)
 
     def _swap_round(
         self, sweep_index: int, energies: List[float], result: TemperingResult
@@ -181,14 +270,25 @@ class ParallelTempering:
                 accepted.append(i)
         return accepted
 
-    def _run_sequential(self, sweeps: int) -> TemperingResult:
-        states = [solver.initial_labels() for solver in self._solvers]
+    def _run_sequential(
+        self,
+        sweeps: int,
+        writer: Optional[CheckpointWriter] = None,
+        checkpoint: Optional[SolveCheckpoint] = None,
+    ) -> TemperingResult:
+        if checkpoint is not None:
+            start, stacked, result = self._restore(checkpoint, sweeps)
+            states = [np.ascontiguousarray(stacked[k]) for k in range(len(self._solvers))]
+            result.labels = states[0]
+        else:
+            start = 0
+            states = [solver.initial_labels() for solver in self._solvers]
+            result = TemperingResult(
+                labels=states[0], temperatures=self.temperatures, energy_history=[]
+            )
         for solver, labels in zip(self._solvers, states):
             solver.workspace.bind(labels)
-        result = TemperingResult(
-            labels=states[0], temperatures=self.temperatures, energy_history=[]
-        )
-        for sweep_index in range(sweeps):
+        for sweep_index in range(start, sweeps):
             energies = []
             for solver, temperature, labels in zip(
                 self._solvers, self.temperatures, states
@@ -203,21 +303,35 @@ class ParallelTempering:
                 for i in self._swap_round(sweep_index, energies, result):
                     states[i], states[i + 1] = states[i + 1], states[i]
             result.energy_history.append(energies)
+            if writer is not None:
+                writer.maybe_emit(
+                    sweep_index + 1,
+                    lambda: self.snapshot(sweep_index + 1, np.stack(states), result),
+                )
         result.labels = states[0]
         return result
 
-    def _run_batched(self, sweeps: int) -> TemperingResult:
+    def _run_batched(
+        self,
+        sweeps: int,
+        writer: Optional[CheckpointWriter] = None,
+        checkpoint: Optional[SolveCheckpoint] = None,
+    ) -> TemperingResult:
         chains = len(self._solvers)
-        states = np.stack([solver.initial_labels() for solver in self._solvers])
+        if checkpoint is not None:
+            start, states, result = self._restore(checkpoint, sweeps)
+        else:
+            start = 0
+            states = np.stack([solver.initial_labels() for solver in self._solvers])
+            result = TemperingResult(
+                labels=states[0], temperatures=self.temperatures, energy_history=[]
+            )
         samplers = [solver.sampler for solver in self._solvers]
         wants = [solver._wants_current for solver in self._solvers]
         masks = coloring_masks(self.model.shape, self.model.connectivity)
         workspace = BatchedSweepWorkspace(self.model, masks, chains)
         workspace.bind(states)
-        result = TemperingResult(
-            labels=states[0], temperatures=self.temperatures, energy_history=[]
-        )
-        for sweep_index in range(sweeps):
+        for sweep_index in range(start, sweeps):
             workspace.sweep(states, self.temperatures, samplers, wants)
             energies = [
                 self.model.total_energy(states[k]) for k in range(chains)
@@ -233,6 +347,11 @@ class ParallelTempering:
                     # resynchronize wholesale before the next sweep.
                     workspace.bind(states)
             result.energy_history.append(energies)
+            if writer is not None:
+                writer.maybe_emit(
+                    sweep_index + 1,
+                    lambda: self.snapshot(sweep_index + 1, states, result),
+                )
         result.labels = states[0].copy()
         return result
 

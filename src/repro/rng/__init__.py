@@ -14,6 +14,8 @@ from repro.rng.streams import (
     LFSRBitSource,
     MTBitSource,
     NumpyBitSource,
+    generator_state,
+    set_generator_state,
     uniform_from_bits,
 )
 
@@ -26,5 +28,7 @@ __all__ = [
     "LFSRBitSource",
     "MTBitSource",
     "NumpyBitSource",
+    "generator_state",
+    "set_generator_state",
     "uniform_from_bits",
 ]

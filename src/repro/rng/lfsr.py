@@ -76,6 +76,30 @@ class LFSR:
         """Period of a maximal-length register of this width."""
         return (1 << self.width) - 1
 
+    def getstate(self) -> dict:
+        """Snapshot of the full generator state (picklable, plain data).
+
+        The register contents are the entire state; width/taps are
+        included so :meth:`setstate` can refuse a snapshot taken from a
+        differently configured register.
+        """
+        return {"kind": "lfsr", "width": self.width, "taps": self.taps,
+                "state": self._state}
+
+    def setstate(self, state: dict) -> None:
+        """Restore a :meth:`getstate` snapshot; bit-exact continuation."""
+        if state.get("kind") != "lfsr":
+            raise ConfigError(f"not an LFSR state snapshot: {state!r}")
+        if state["width"] != self.width or tuple(state["taps"]) != self.taps:
+            raise ConfigError(
+                f"LFSR state is for width={state['width']} taps={state['taps']}, "
+                f"this register has width={self.width} taps={self.taps}"
+            )
+        value = int(state["state"]) & self._mask
+        if value == 0:
+            raise ConfigError("LFSR state must be nonzero modulo 2**width")
+        self._state = value
+
     def step(self) -> int:
         """Advance one clock and return the output bit (LSB before shift).
 

@@ -33,6 +33,23 @@ class MT19937:
             prev = self._mt[i - 1]
             self._mt[i] = (1812433253 * (prev ^ (prev >> 30)) + i) & _WORD_MASK
 
+    def getstate(self) -> dict:
+        """Snapshot of the full generator state (picklable, plain data)."""
+        return {"kind": "mt19937", "mt": list(self._mt), "index": self._index}
+
+    def setstate(self, state: dict) -> None:
+        """Restore a :meth:`getstate` snapshot; bit-exact continuation."""
+        if state.get("kind") != "mt19937":
+            raise ConfigError(f"not an MT19937 state snapshot: {state!r}")
+        mt = [int(word) & _WORD_MASK for word in state["mt"]]
+        if len(mt) != _N:
+            raise ConfigError(f"MT19937 state needs {_N} words, got {len(mt)}")
+        index = int(state["index"])
+        if not 0 <= index <= _N:
+            raise ConfigError(f"MT19937 index must be in [0, {_N}], got {index}")
+        self._mt = mt
+        self._index = index
+
     def _generate(self) -> None:
         mt = self._mt
         for i in range(_N):

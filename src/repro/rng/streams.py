@@ -16,6 +16,7 @@ fused sweep path stop reallocating per half-sweep.
 
 from __future__ import annotations
 
+import copy
 from typing import Optional, Protocol
 
 import numpy as np
@@ -23,6 +24,21 @@ import numpy as np
 from repro.rng.lfsr import LFSR
 from repro.rng.mt19937 import MT19937
 from repro.util.errors import ConfigError
+
+
+def generator_state(rng: np.random.Generator) -> dict:
+    """Deep-copied state snapshot of a :class:`numpy.random.Generator`.
+
+    The snapshot is plain picklable data (NumPy's own bit-generator
+    state dict), so it can ride inside checkpoint files; restore it with
+    :func:`set_generator_state` for a bit-exact continuation.
+    """
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def set_generator_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a :func:`generator_state` snapshot onto ``rng``."""
+    rng.bit_generator.state = copy.deepcopy(state)
 
 
 def _check_out(count: int, out: np.ndarray) -> None:
@@ -43,6 +59,14 @@ class BitSource(Protocol):
         """
         ...
 
+    def getstate(self) -> dict:
+        """Picklable snapshot of the full generator state."""
+        ...
+
+    def setstate(self, state: dict) -> None:
+        """Restore a :meth:`getstate` snapshot; bit-exact continuation."""
+        ...
+
 
 class NumpyBitSource:
     """Ideal uniform source backed by :class:`numpy.random.Generator`."""
@@ -57,6 +81,14 @@ class NumpyBitSource:
         self._rng.random(out=out)
         return out
 
+    def getstate(self) -> dict:
+        return {"kind": "numpy", "state": generator_state(self._rng)}
+
+    def setstate(self, state: dict) -> None:
+        if state.get("kind") != "numpy":
+            raise ConfigError(f"not a NumpyBitSource state snapshot: {state!r}")
+        set_generator_state(self._rng, state["state"])
+
 
 class LFSRBitSource:
     """Uniform source built from a :class:`repro.rng.LFSR`."""
@@ -70,6 +102,12 @@ class LFSRBitSource:
             _check_out(count, out)
         return self._lfsr.uniforms(count, self._bits_per_word, out=out)
 
+    def getstate(self) -> dict:
+        return self._lfsr.getstate()
+
+    def setstate(self, state: dict) -> None:
+        self._lfsr.setstate(state)
+
 
 class MTBitSource:
     """Uniform source built from the from-scratch :class:`MT19937`."""
@@ -81,6 +119,12 @@ class MTBitSource:
         if out is not None:
             _check_out(count, out)
         return self._mt.uniforms(count, out=out)
+
+    def getstate(self) -> dict:
+        return self._mt.getstate()
+
+    def setstate(self, state: dict) -> None:
+        self._mt.setstate(state)
 
 
 def uniform_from_bits(words: np.ndarray, bits: int) -> np.ndarray:

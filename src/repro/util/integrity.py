@@ -1,0 +1,125 @@
+"""Checksummed on-disk envelope shared by the result cache and checkpoints.
+
+A crash — of this process, of a pool worker, or of the machine — can
+leave a half-written pickle on disk.  Unpickling such a file either
+raises (best case) or silently yields a truncated object (worst case).
+Every durable artifact of the experiment runtime therefore goes through
+one envelope format:
+
+    ``MAGIC (4 bytes) | format version (u32 LE) | SHA-256(payload) | payload``
+
+Readers verify the magic, the version, and the digest before a single
+byte of the payload is unpickled; anything that fails is reported as a
+structured :class:`EnvelopeError` so callers can quarantine the file and
+recompute instead of propagating garbage.
+
+Writes are atomic (write to a temporary sibling, ``os.replace``), and
+the temporary file is removed in a ``finally`` guarded against
+secondary ``OSError`` — a failing write never leaks ``*.tmp`` litter
+and never masks the original exception.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+import tempfile
+from pathlib import Path
+
+from repro.util.errors import DataError
+
+#: Leading bytes of every envelope; rejects foreign/legacy files cheaply.
+MAGIC = b"RPR1"
+
+#: MAGIC + u32 version + 32-byte SHA-256 digest.
+HEADER_SIZE = len(MAGIC) + 4 + 32
+
+
+class EnvelopeError(DataError):
+    """A durable artifact failed integrity verification.
+
+    ``reason`` is a stable machine-readable token: ``truncated``,
+    ``bad_magic``, ``version_mismatch``, ``checksum_mismatch``, or
+    ``unpicklable``.
+    """
+
+    def __init__(self, reason: str, message: str):
+        super().__init__(message)
+        self.reason = reason
+
+
+def wrap_payload(payload: bytes, version: int) -> bytes:
+    """Frame ``payload`` in the checksummed envelope."""
+    digest = hashlib.sha256(payload).digest()
+    return MAGIC + struct.pack("<I", version) + digest + payload
+
+
+def unwrap_payload(blob: bytes, version: int) -> bytes:
+    """Verify and strip the envelope; raises :class:`EnvelopeError`."""
+    # Magic first: a short foreign/legacy file is "not an envelope"
+    # (bad_magic), not a truncated one of ours.
+    if blob[: len(MAGIC)] != MAGIC:
+        raise EnvelopeError("bad_magic", "envelope magic mismatch")
+    if len(blob) < HEADER_SIZE:
+        raise EnvelopeError(
+            "truncated", f"envelope shorter than its {HEADER_SIZE}-byte header"
+        )
+    (found_version,) = struct.unpack_from("<I", blob, len(MAGIC))
+    if found_version != version:
+        raise EnvelopeError(
+            "version_mismatch",
+            f"envelope format version {found_version} != expected {version}",
+        )
+    digest = blob[len(MAGIC) + 4 : HEADER_SIZE]
+    payload = blob[HEADER_SIZE:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise EnvelopeError("checksum_mismatch", "envelope checksum mismatch")
+    return payload
+
+
+def atomic_write_bytes(path: os.PathLike, blob: bytes) -> None:
+    """Write ``blob`` to ``path`` atomically (temp sibling + rename).
+
+    The temporary file lives in the target directory so the final
+    ``os.replace`` is a same-filesystem rename; on any failure the
+    temporary is unlinked without masking the original exception.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp, target)
+        tmp = None
+    finally:
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def dump_envelope(path: os.PathLike, value, version: int) -> None:
+    """Pickle ``value`` and persist it atomically inside an envelope."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    atomic_write_bytes(path, wrap_payload(payload, version))
+
+
+def load_envelope(path: os.PathLike, version: int):
+    """Load a value written by :func:`dump_envelope`.
+
+    Raises ``FileNotFoundError``/``OSError`` for absent/unreadable files
+    and :class:`EnvelopeError` for anything that fails verification —
+    including a checksum-valid payload that no longer unpickles (code
+    drift), reported as ``unpicklable``.
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    payload = unwrap_payload(blob, version)
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # pickle raises a menagerie; all mean "bad entry"
+        raise EnvelopeError("unpicklable", f"payload failed to unpickle: {exc}") from exc

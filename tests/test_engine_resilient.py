@@ -1,0 +1,437 @@
+"""Resilience regressions for the experiment engine.
+
+Chaos contract (see ``repro/experiments/engine.py``): a sweep with
+injected crashing, hanging, and flaky tasks still completes — healthy
+tasks return real results, poison tasks are retried then quarantined as
+explicit :class:`TaskFailure` holes, every recovery step lands in the
+run journal, and nothing in the recovery machinery perturbs results
+(the retried tasks re-run from their own seeds).
+
+Cache integrity: corrupt/truncated entries are detected by checksum,
+moved to ``quarantine/``, counted, and recomputed; a failing store
+(unpicklable value, disk error) is counted and never leaks a temp file;
+interrupts leave a resume manifest behind.
+
+The worker-killing tests fork real process pools; they are marked
+``slow`` and run in the chaos CI lane (deselect with ``-m "not slow"``).
+"""
+
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.engine import (
+    CACHE_FORMAT_VERSION,
+    ExperimentEngine,
+    ResultCache,
+    RetryPolicy,
+    TaskExecutionError,
+    TaskFailure,
+    execute_task,
+    solve_task,
+)
+from repro.experiments.journal import RunJournal
+from repro.util.errors import ConfigError
+from repro.util.integrity import HEADER_SIZE, MAGIC
+
+# ----------------------------------------------------------------------
+# Injectable runners.  Module-level so the fork-started pool workers can
+# pickle them by reference; behaviour is selected by the task's seed so
+# the tasks themselves stay plain data.
+
+CRASH_SEED = 990
+HANG_SEED = 980
+FLAKY_SEED = 970
+
+
+def well_behaved_runner(task):
+    return ("ok", task.seed)
+
+
+def chaos_runner(task):
+    if task.seed == CRASH_SEED:
+        os._exit(17)  # hard worker death -> BrokenProcessPool
+    if task.seed == HANG_SEED:
+        time.sleep(300.0)  # hang -> per-task timeout
+    return ("ok", task.seed)
+
+
+def flaky_runner(task):
+    """Fails the first two attempts of the flaky seed, then succeeds.
+
+    Cross-process attempt counting goes through a marker directory named
+    by the ``REPRO_FLAKY_DIR`` environment variable (inherited by forked
+    workers).
+    """
+    if task.seed == FLAKY_SEED:
+        marker_dir = Path(os.environ["REPRO_FLAKY_DIR"])
+        attempt = len(list(marker_dir.glob("attempt-*")))
+        if attempt < 2:
+            (marker_dir / f"attempt-{attempt}-{os.getpid()}").touch()
+            raise RuntimeError(f"flaky failure #{attempt}")
+    return ("ok", task.seed)
+
+
+def unpicklable_runner(task):
+    return lambda: task.seed  # cannot be cached
+
+
+def make_tasks(seeds):
+    return [
+        solve_task("stereo", {"name": "poster", "scale": 0.1}, backend="software", seed=s)
+        for s in seeds
+    ]
+
+
+FAST_RETRY = dict(backoff_base=0.01, poll_interval=0.02)
+
+
+class TestRetryAndQuarantine:
+    def test_flaky_task_retries_then_succeeds_inline(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FLAKY_DIR", str(tmp_path))
+        engine = ExperimentEngine(
+            jobs=1, use_cache=False,
+            retry=RetryPolicy(max_attempts=3, **FAST_RETRY),
+            runner=flaky_runner,
+        )
+        tasks = make_tasks([1, FLAKY_SEED, 2])
+        results = engine.run_tasks(tasks)
+        assert results == [("ok", 1), ("ok", FLAKY_SEED), ("ok", 2)]
+        assert engine.stats.retries == 2
+        assert engine.stats.quarantined == 0
+        assert engine.journal.counts_by_kind() == {"task_retry": 2}
+
+    def test_persistent_failure_is_quarantined_inline(self):
+        def always_fails(task):
+            raise ValueError("doomed")
+
+        engine = ExperimentEngine(
+            jobs=1, use_cache=False,
+            retry=RetryPolicy(max_attempts=2, **FAST_RETRY),
+            runner=always_fails,
+        )
+        tasks = make_tasks([1, 2])
+        results = engine.run_tasks(tasks)
+        assert all(isinstance(r, TaskFailure) for r in results)
+        assert results[0].reason == "error" and results[0].attempts == 2
+        assert "doomed" in results[0].error
+        assert engine.stats.quarantined == 2
+        assert engine.stats.retries == 2
+        assert len(engine.journal.of_kind("task_quarantined")) == 2
+
+    def test_journal_streams_to_jsonl(self, tmp_path):
+        def always_fails(task):
+            raise ValueError("doomed")
+
+        journal_path = tmp_path / "journal.jsonl"
+        engine = ExperimentEngine(
+            jobs=1, use_cache=False,
+            retry=RetryPolicy(max_attempts=2, **FAST_RETRY),
+            runner=always_fails,
+            journal_path=journal_path,
+        )
+        engine.run_tasks(make_tasks([5]))
+        lines = [json.loads(line) for line in journal_path.read_text().splitlines()]
+        assert [entry["kind"] for entry in lines] == ["task_retry", "task_quarantined"]
+        # The journal names the exact design point, not just "a task".
+        detail = lines[-1]["detail"]
+        assert detail["app"] == "stereo" and detail["seed"] == 5
+        assert len(detail["key"]) == 16
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(timeout=-1.0)
+        assert RetryPolicy(backoff_base=0.1).delay(3) == pytest.approx(0.4)
+        assert RetryPolicy(backoff_base=1.0, backoff_cap=1.5).delay(5) == 1.5
+
+
+@pytest.mark.slow
+class TestChaosPool:
+    def test_crash_and_hang_quarantine_exactly_the_poison_tasks(self):
+        engine = ExperimentEngine(
+            jobs=3, use_cache=False,
+            retry=RetryPolicy(max_attempts=2, timeout=1.5, **FAST_RETRY),
+            runner=chaos_runner,
+        )
+        seeds = [1, 2, CRASH_SEED, 3, HANG_SEED, 4]
+        results = engine.run_tasks(make_tasks(seeds))
+        holes = {seed for seed, r in zip(seeds, results) if isinstance(r, TaskFailure)}
+        assert holes == {CRASH_SEED, HANG_SEED}
+        for seed, result in zip(seeds, results):
+            if seed not in holes:
+                assert result == ("ok", seed)
+        by_seed = {r.seed: r for r in results if isinstance(r, TaskFailure)}
+        assert by_seed[CRASH_SEED].reason == "crash"
+        assert by_seed[HANG_SEED].reason == "timeout"
+        assert engine.stats.quarantined == 2
+        assert engine.stats.pool_rebuilds >= 1
+        kinds = engine.journal.counts_by_kind()
+        assert kinds.get("task_quarantined") == 2
+        assert kinds.get("pool_rebuild", 0) >= 1
+
+    def test_healthy_parallel_batch_unaffected(self):
+        engine = ExperimentEngine(
+            jobs=3, use_cache=False,
+            retry=RetryPolicy(max_attempts=2, timeout=30.0, **FAST_RETRY),
+            runner=well_behaved_runner,
+        )
+        seeds = list(range(8))
+        results = engine.run_tasks(make_tasks(seeds))
+        assert results == [("ok", s) for s in seeds]
+        assert engine.stats.quarantined == 0
+        assert engine.stats.pool_rebuilds == 0
+        assert len(engine.journal) == 0
+
+    def test_completed_results_cached_despite_later_crash(self, tmp_path):
+        engine = ExperimentEngine(
+            jobs=2, cache_dir=tmp_path / "cache", use_cache=True,
+            retry=RetryPolicy(max_attempts=1, timeout=10.0, **FAST_RETRY),
+            runner=chaos_runner,
+        )
+        seeds = [1, 2, 3, CRASH_SEED]
+        results = engine.run_tasks(make_tasks(seeds))
+        assert isinstance(results[3], TaskFailure)
+        # Every healthy result was flushed to the cache as it completed.
+        warm = ExperimentEngine(
+            jobs=1, cache_dir=tmp_path / "cache", use_cache=True,
+            runner=well_behaved_runner,
+        )
+        warm_results = warm.run_tasks(make_tasks([1, 2, 3]))
+        assert warm.stats.cache_hits == 3 and warm.stats.executed == 0
+        assert warm_results == results[:3]
+
+
+class TestCacheIntegrity:
+    def solve_once(self, tmp_path, **kwargs):
+        engine = ExperimentEngine(
+            jobs=1, cache_dir=tmp_path / "cache", use_cache=True,
+            runner=well_behaved_runner, **kwargs,
+        )
+        return engine, make_tasks([1])[0]
+
+    def test_corrupt_entry_quarantined_and_recomputed(self, tmp_path):
+        engine, task = self.solve_once(tmp_path)
+        assert engine.run_tasks([task]) == [("ok", 1)]
+        entry = engine.cache.path(task.key())
+        blob = bytearray(entry.read_bytes())
+        blob[-1] ^= 0xFF
+        entry.write_bytes(bytes(blob))
+
+        again, _ = self.solve_once(tmp_path)
+        assert again.run_tasks([task]) == [("ok", 1)]
+        assert again.stats.cache_corrupt == 1
+        assert again.stats.cache_hits == 0 and again.stats.executed == 1
+        assert (again.cache.quarantine_dir / entry.name).exists()
+        assert entry.exists()  # recomputed and re-stored
+        assert "1 corrupt entries" in again.stats.summary()
+        assert again.journal.of_kind("cache_corrupt")
+
+    def test_truncated_entry_detected(self, tmp_path):
+        engine, task = self.solve_once(tmp_path)
+        engine.run_tasks([task])
+        entry = engine.cache.path(task.key())
+        entry.write_bytes(entry.read_bytes()[: HEADER_SIZE - 5])
+        again, _ = self.solve_once(tmp_path)
+        assert again.run_tasks([task]) == [("ok", 1)]
+        assert again.stats.cache_corrupt == 1
+
+    def test_legacy_raw_pickle_is_a_miss_not_corruption(self, tmp_path):
+        engine, task = self.solve_once(tmp_path)
+        engine.run_tasks([task])
+        entry = engine.cache.path(task.key())
+        entry.write_bytes(pickle.dumps(("stale", 0)))
+        again, _ = self.solve_once(tmp_path)
+        assert again.run_tasks([task]) == [("ok", 1)]
+        assert again.stats.cache_corrupt == 0 and again.stats.executed == 1
+
+    def test_envelope_format(self, tmp_path):
+        engine, task = self.solve_once(tmp_path)
+        engine.run_tasks([task])
+        blob = engine.cache.path(task.key()).read_bytes()
+        assert blob[: len(MAGIC)] == MAGIC
+        assert int.from_bytes(blob[4:8], "little") == CACHE_FORMAT_VERSION
+
+    def test_store_failure_counted_and_leaks_nothing(self, tmp_path):
+        engine = ExperimentEngine(
+            jobs=1, cache_dir=tmp_path / "cache", use_cache=True,
+            runner=unpicklable_runner,
+        )
+        task = make_tasks([1])[0]
+        result = engine.run_tasks([task])[0]
+        assert callable(result)  # the solve itself succeeded
+        assert engine.stats.cache_store_failures == 1
+        assert "1 store failures" in engine.stats.summary()
+        assert engine.journal.of_kind("cache_store_failed")
+        leftovers = list((tmp_path / "cache").rglob("*.tmp"))
+        assert leftovers == []
+        assert not engine.cache.path(task.key()).exists()
+
+    def test_store_reports_oserror(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = "ab" * 32
+        cache.path(key).parent.mkdir(parents=True)
+        cache.path(key).parent.chmod(0o500)
+        try:
+            error = cache.store(key, {"x": 1})
+        finally:
+            cache.path(key).parent.chmod(0o700)
+        if os.geteuid() == 0:
+            pytest.skip("running as root: directory permissions are not enforced")
+        assert error is not None
+        assert not list((tmp_path / "cache").rglob("*.tmp"))
+
+
+class TestWorkerErrorContext:
+    def test_execute_task_wraps_failures_with_task_identity(self):
+        task = solve_task(
+            "stereo", {"name": "no-such-dataset-xyz"}, backend="software", seed=9
+        )
+        with pytest.raises(TaskExecutionError) as excinfo:
+            execute_task(task)
+        message = str(excinfo.value)
+        assert task.key()[:16] in message
+        assert "app=stereo" in message and "seed=9" in message
+        assert excinfo.value.__cause__ is not None
+
+
+class TestSweepHoles:
+    def test_sweep_reports_holes_instead_of_aborting(self):
+        from repro.experiments.profiles import QUICK
+        from repro.experiments.sweep import run_sweep
+        from repro.experiments.engine import use_engine
+
+        class FakeResult:
+            bad_pixel = 7.5
+
+        def failing_point_runner(task):
+            if dict(task.config.to_dict())["time_bits"] == 5:
+                raise RuntimeError("poison design point")
+            return FakeResult()
+
+        engine = ExperimentEngine(
+            jobs=1, use_cache=False,
+            retry=RetryPolicy(max_attempts=2, **FAST_RETRY),
+            runner=failing_point_runner,
+        )
+        with use_engine(engine):
+            result = run_sweep("time_bits", [3, 5, 8], app="stereo", profile=QUICK)
+        values = [row[0] for row in result.rows]
+        metrics = [row[1] for row in result.rows]
+        assert values == [3, 5, 8]
+        assert metrics[0] == 7.5 and metrics[2] == 7.5
+        assert metrics[1] != metrics[1]  # NaN hole
+        failed = result.extra["failed_points"]
+        assert len(failed) == 1 and failed[0]["value"] == 5
+        assert "poison design point" in failed[0]["error"]
+
+
+@pytest.mark.slow
+class TestInterruptAndResume:
+    VICTIM = textwrap.dedent(
+        """
+        import sys, time
+        from repro.experiments.engine import ExperimentEngine, RetryPolicy, solve_task
+
+        def slow_runner(task):
+            time.sleep(0.0 if task.seed < 2 else 30.0)
+            return ("ok", task.seed)
+
+        tasks = [
+            solve_task("stereo", {"name": "poster", "scale": 0.1},
+                       backend="software", seed=s)
+            for s in range(6)
+        ]
+        engine = ExperimentEngine(
+            jobs=2, cache_dir="cache", use_cache=True,
+            retry=RetryPolicy(poll_interval=0.02), runner=slow_runner,
+        )
+        print("READY", flush=True)
+        try:
+            engine.run_tasks(tasks)
+            print("COMPLETED")
+        except KeyboardInterrupt:
+            print("INTERRUPTED", flush=True)
+            sys.exit(130)
+        """
+    )
+
+    @pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM])
+    def test_interrupt_flushes_cache_and_writes_manifest(self, tmp_path, signum):
+        (tmp_path / "victim.py").write_text(self.VICTIM)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(Path(__file__).resolve().parents[1] / "src"),
+                        env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "victim.py"], cwd=tmp_path, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            ready = proc.stdout.readline()  # blocks until imports are done
+            assert "READY" in ready
+            time.sleep(2.0)  # fast tasks cached, slow tasks in flight
+            proc.send_signal(signum)
+            out, err = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 130, (out, err)
+        assert "INTERRUPTED" in out
+        manifest = json.loads((tmp_path / "cache" / "resume-manifest.json").read_text())
+        assert 0 < manifest["completed"] < manifest["total"] == 6
+        assert len(manifest["outstanding"]) == manifest["total"] - manifest["completed"]
+        assert manifest["outstanding"][0]["app"] == "stereo"
+
+        # A resumed engine picks the completed solves out of the warm
+        # cache and a completed batch clears the manifest.
+        engine = ExperimentEngine(
+            jobs=1, cache_dir=tmp_path / "cache", use_cache=True,
+            runner=well_behaved_runner,
+        )
+        assert engine.read_resume_manifest() is not None
+        results = engine.run_tasks(make_tasks(range(6)))
+        assert results == [("ok", s) for s in range(6)]
+        assert engine.stats.cache_hits == manifest["completed"]
+        assert engine.read_resume_manifest() is None
+
+    def test_manifest_round_trip_api(self, tmp_path):
+        engine = ExperimentEngine(
+            jobs=1, cache_dir=tmp_path / "cache", use_cache=True,
+            runner=well_behaved_runner,
+        )
+        tasks = make_tasks([1, 2])
+        keys = [t.key() for t in tasks]
+        engine.run_tasks([tasks[0]])
+        manifest = engine.write_resume_manifest(tasks, keys, signal_number=15)
+        assert manifest["completed"] == 1 and len(manifest["outstanding"]) == 1
+        assert engine.read_resume_manifest()["signal"] == 15
+        engine.clear_resume_manifest()
+        assert engine.read_resume_manifest() is None
+
+
+class TestDeterminismUnderRecovery:
+    def test_retried_tasks_return_identical_results(self, tmp_path, monkeypatch):
+        # The real acceptance point: recovery must not perturb results.
+        monkeypatch.setenv("REPRO_FLAKY_DIR", str(tmp_path))
+        flaky_engine = ExperimentEngine(
+            jobs=1, use_cache=False,
+            retry=RetryPolicy(max_attempts=3, **FAST_RETRY),
+            runner=flaky_runner,
+        )
+        clean_engine = ExperimentEngine(jobs=1, use_cache=False, runner=well_behaved_runner)
+        seeds = [FLAKY_SEED, 1, 2]
+        assert flaky_engine.run_tasks(make_tasks(seeds)) == clean_engine.run_tasks(
+            make_tasks(seeds)
+        )
+        assert flaky_engine.stats.retries == 2
