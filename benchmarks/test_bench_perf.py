@@ -26,6 +26,12 @@ Three lanes:
   batched ``(K, H, W)`` chain workspace vs K sequential fused replicas,
   byte-identity (labels, energy histories, swap decisions) asserted
   first.
+* ``entropy_backends`` — the vectorized entropy subsystem: bulk
+  ``uniforms`` draws through the bit-sliced LFSR block engine and the
+  block MT19937 twist vs their scalar oracles, plus an end-to-end
+  ``rng_kind=lfsr`` stereo solve on the buffered vectorized backend vs
+  the scalar one.  Word streams and solve labels are asserted
+  byte-identical before any time is recorded.
 
 Every lane asserts byte-identical results across its variants before
 recording a time.  Run directly (``python benchmarks/test_bench_perf.py``)
@@ -274,6 +280,90 @@ def bench_batched_chains(profile):
     }
 
 
+#: Bulk-draw sizes for the entropy lane, per profile.
+ENTROPY_DRAWS = {"small": 200_000, "tiny": 20_000}
+
+
+def bench_entropy_backends(profile_name):
+    """Scalar oracles vs the vectorized entropy subsystem.
+
+    Two micro lanes (bulk ``uniforms`` from the 19-bit LFSR and the
+    MT19937) plus one end-to-end lane (a full ``cdf_lfsr`` stereo solve
+    on the buffered vectorized backend vs the scalar one).  Byte
+    identity — word streams and solve labels — is asserted before any
+    time is recorded.
+    """
+    from repro.rng import LFSR, MT19937
+
+    draws = ENTROPY_DRAWS[profile_name]
+    profile = PROFILES[profile_name]
+
+    # --- LFSR bulk uniforms ---
+    scalar_u = LFSR(width=19, seed=7, use_vectorized=False).uniforms(draws)
+    vector_u = LFSR(width=19, seed=7, use_vectorized=True).uniforms(draws)
+    assert np.array_equal(scalar_u, vector_u), "bit-sliced LFSR diverged"
+    lfsr_scalar_s = _timed(
+        lambda: LFSR(width=19, seed=7, use_vectorized=False).uniforms(draws)
+    )[0]
+    lfsr_vector_s = min(
+        _timed(
+            lambda: LFSR(width=19, seed=7, use_vectorized=True).uniforms(draws)
+        )[0]
+        for _ in range(3)
+    )
+
+    # --- MT19937 bulk uniforms ---
+    scalar_u = MT19937(seed=7, use_vectorized=False).uniforms(draws)
+    vector_u = MT19937(seed=7, use_vectorized=True).uniforms(draws)
+    assert np.array_equal(scalar_u, vector_u), "block MT19937 diverged"
+    mt_scalar_s = _timed(
+        lambda: MT19937(seed=7, use_vectorized=False).uniforms(draws)
+    )[0]
+    mt_vector_s = min(
+        _timed(
+            lambda: MT19937(seed=7, use_vectorized=True).uniforms(draws)
+        )[0]
+        for _ in range(3)
+    )
+
+    # --- end-to-end cdf_lfsr stereo solve ---
+    dataset = load_stereo("poster", scale=profile.stereo_scale)
+    params = StereoParams(iterations=profile.stereo_iterations)
+    model = build_stereo_mrf(dataset, params)
+    schedule = geometric_for_span(params.t0, params.t_final, params.iterations)
+
+    def solve(use_vectorized):
+        sampler = make_backend("cdf_lfsr", model.max_energy(), seed=3,
+                               use_vectorized=use_vectorized)
+        solver = MCMCSolver(model, sampler, schedule, seed=3,
+                            track_energy=False)
+        return solver.run(params.iterations)
+
+    reference = solve(False)
+    vectorized = solve(True)
+    assert np.array_equal(reference.labels, vectorized.labels), (
+        "vectorized cdf_lfsr solve diverged"
+    )
+    solve_scalar_s = _timed(lambda: solve(False))[0]
+    solve_vector_s = min(_timed(lambda: solve(True))[0] for _ in range(2))
+
+    return {
+        "uniform_draws": draws,
+        "lfsr_scalar_s": round(lfsr_scalar_s, 4),
+        "lfsr_vectorized_s": round(lfsr_vector_s, 4),
+        "speedup_lfsr_vectorized": round(lfsr_scalar_s / lfsr_vector_s, 2),
+        "mt_scalar_s": round(mt_scalar_s, 4),
+        "mt_vectorized_s": round(mt_vector_s, 4),
+        "speedup_mt_vectorized": round(mt_scalar_s / mt_vector_s, 2),
+        "solve": f"stereo poster scale={profile.stereo_scale} "
+                 f"iters={profile.stereo_iterations} rng_kind=lfsr",
+        "solve_scalar_s": round(solve_scalar_s, 4),
+        "solve_vectorized_s": round(solve_vector_s, 4),
+        "speedup_solve_vectorized": round(solve_scalar_s / solve_vector_s, 2),
+        "results_byte_identical": True,
+    }
+
+
 def run_perf_baseline(profile_name: str = None) -> dict:
     """Run every lane and write ``BENCH_perf.json``; returns the payload."""
     profile_name = profile_name or os.environ.get("BENCH_PERF_PROFILE", "small")
@@ -296,6 +386,7 @@ def run_perf_baseline(profile_name: str = None) -> dict:
         # is timed next (painful on single-core CI hosts).
         "sweep_kernel": bench_sweep_kernel(profile),
         "batched_chains": bench_batched_chains(profile),
+        "entropy_backends": bench_entropy_backends(profile_name),
         "lambda_lut": bench_lambda_lut(profile),
         "registry_engine": bench_registry_engine(profile),
         "sweep_engine": bench_sweep_engine(profile),
@@ -316,6 +407,10 @@ def test_perf_baseline():
     assert payload["sweep_kernel"]["speedup_fused_vs_reference"] > 0
     assert payload["batched_chains"]["results_byte_identical"]
     assert payload["batched_chains"]["speedup_batched_vs_sequential"] > 0
+    assert payload["entropy_backends"]["results_byte_identical"]
+    assert payload["entropy_backends"]["speedup_lfsr_vectorized"] > 0
+    assert payload["entropy_backends"]["speedup_mt_vectorized"] > 0
+    assert payload["entropy_backends"]["speedup_solve_vectorized"] > 0
 
 
 if __name__ == "__main__":

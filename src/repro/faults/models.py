@@ -76,20 +76,39 @@ class FaultyBitSource:
     ``word_bits`` grid and the stuck positions are forced — the model of
     a latched flip-flop in the RNG output register.  A null fault
     returns the wrapped source's floats untouched.
+
+    The wrapper is a full :class:`~repro.rng.streams.BitSource`: it
+    honors the allocation-free ``uniforms(count, out=)`` form (stuck
+    bits are applied in one vectorized mask-and-divide pass, so the
+    block engines' throughput survives the injection layer) and
+    forwards ``getstate``/``setstate`` to the wrapped source — the fault
+    itself is stateless config, so checkpoints capture only entropy
+    state.
     """
 
     def __init__(self, source, fault: EntropyFault):
         self._source = source
         self._fault = fault
 
-    def uniforms(self, count: int) -> np.ndarray:
-        u = self._source.uniforms(count)
+    def uniforms(self, count: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+        u = self._source.uniforms(count, out=out)
         if self._fault.is_null:
             return u
         scale = float(1 << self._fault.word_bits)
         words = np.floor(np.asarray(u) * scale).astype(np.int64)
         words = (words & ~self._fault.stuck_mask) | self._fault.stuck_value
-        return words / scale
+        if out is None:
+            return words / scale
+        np.divide(words, scale, out=out)
+        return out
+
+    def getstate(self) -> dict:
+        return {"kind": "faulty", "inner": self._source.getstate()}
+
+    def setstate(self, state: dict) -> None:
+        if state.get("kind") != "faulty":
+            raise ConfigError(f"not a FaultyBitSource state snapshot: {state!r}")
+        self._source.setstate(state["inner"])
 
 
 @dataclass(frozen=True)

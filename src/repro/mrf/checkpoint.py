@@ -17,7 +17,10 @@ where they stopped:
 * the **full RNG state** of every stream the run consumes — the
   solver-level generator plus each sampler backend's
   :meth:`~repro.core.base.SamplerBackend.getstate` snapshot (NumPy
-  generators, LFSR registers, MT19937 state vectors).
+  generators, LFSR registers, MT19937 state vectors; for buffered
+  sources the snapshot also carries the prefetch-slab cursor, so a
+  checkpoint landing mid-block resumes byte-identically without
+  persisting the buffered floats themselves).
 
 The hard contract, enforced by ``tests/test_mrf_checkpoint.py``: a
 solve interrupted at *any* checkpoint and resumed produces byte-identical

@@ -2,15 +2,20 @@
 
 The paper compares the RSU-G against pure-CMOS sampling units built on a
 19-bit LFSR, a Mersenne Twister (mt19937), and Intel's DRNG (Table IV).
-This package implements the two pseudo-RNGs from scratch, plus a common
+This package implements the two pseudo-RNGs from scratch — each with a
+scalar oracle and a byte-identical vectorized block path — plus a common
 :class:`BitSource` protocol used by the inverse-CDF sampler backend in
-:mod:`repro.core.cdf_sampler`.
+:mod:`repro.core.cdf_sampler`, a :class:`BufferedBitSource` block
+prefetcher, and GF(2) jump-ahead machinery (:mod:`repro.rng.gf2`) for
+deterministic substreams.
 """
 
 from repro.rng.lfsr import LFSR, TAPS_BY_WIDTH, cycle_states
 from repro.rng.mt19937 import MT19937
 from repro.rng.streams import (
     BitSource,
+    BufferedBitSource,
+    DEFAULT_PREFETCH_BLOCK,
     LFSRBitSource,
     MTBitSource,
     NumpyBitSource,
@@ -25,6 +30,8 @@ __all__ = [
     "cycle_states",
     "MT19937",
     "BitSource",
+    "BufferedBitSource",
+    "DEFAULT_PREFETCH_BLOCK",
     "LFSRBitSource",
     "MTBitSource",
     "NumpyBitSource",

@@ -119,8 +119,68 @@ def _chi2_sf(value: float, dof: int) -> float:
     return float(special.gammaincc(dof / 2.0, value / 2.0))
 
 
-def run_battery(bits: np.ndarray, block_bits: int = 4) -> Dict[str, TestOutcome]:
-    """All tests as a dict keyed by test name."""
+def stream_bits(source, n_bits: int, word_bits: int = 32) -> np.ndarray:
+    """Materialize ``n_bits`` stream bits from a generator or BitSource.
+
+    Dispatch, most direct form first:
+
+    * a ``.bits(count)`` generator (:class:`~repro.rng.lfsr.LFSR`) emits
+      raw bits through its vectorized block path;
+    * a ``.words(count)`` generator (:class:`~repro.rng.mt19937.MT19937`)
+      has its 32-bit words unpacked MSB-first;
+    * any :class:`~repro.rng.streams.BitSource` (including
+      :class:`~repro.rng.streams.BufferedBitSource` wrappers) has its
+      uniforms requantized onto the ``word_bits`` grid and unpacked
+      MSB-first — for a word-backed source (e.g. an LFSR source with
+      ``word_bits=19``) this recovers the underlying words exactly.
+
+    The vectorized generators make multi-million-bit batteries cheap:
+    the stream is produced in one block call, not a Python loop.
+    """
+    if n_bits < 1:
+        raise ConfigError(f"n_bits must be >= 1, got {n_bits}")
+    if hasattr(source, "bits"):
+        return np.asarray(source.bits(n_bits), dtype=np.uint8)
+    if not 1 <= word_bits <= 53:
+        raise ConfigError(f"word_bits must be in [1, 53], got {word_bits}")
+    if hasattr(source, "words"):
+        word_bits = 32  # .words generators emit 32-bit output words
+        n_words = -(-n_bits // word_bits)
+        words = np.asarray(source.words(n_words), dtype=np.uint64)
+    elif hasattr(source, "uniforms"):
+        n_words = -(-n_bits // word_bits)
+        uniforms = np.asarray(source.uniforms(n_words), dtype=np.float64)
+        words = np.floor(uniforms * float(1 << word_bits)).astype(np.uint64)
+    else:
+        raise ConfigError(
+            f"cannot extract bits from {type(source).__name__}: "
+            "need .bits, .words, or .uniforms"
+        )
+    positions = np.arange(word_bits - 1, -1, -1, dtype=np.uint64)
+    unpacked = (words[:, None] >> positions) & np.uint64(1)
+    return unpacked.reshape(-1)[:n_bits].astype(np.uint8)
+
+
+def run_battery(
+    bits,
+    block_bits: int = 4,
+    *,
+    n_bits: Optional[int] = None,
+    word_bits: int = 32,
+) -> Dict[str, TestOutcome]:
+    """All tests as a dict keyed by test name.
+
+    ``bits`` may be a materialized 0/1 array (the classic form) or any
+    bit/word/uniform source accepted by :func:`stream_bits`, in which
+    case ``n_bits`` selects how much of the stream to test — the battery
+    then consumes directly from the generator's vectorized block path.
+    """
+    if not isinstance(bits, np.ndarray) and any(
+        hasattr(bits, attr) for attr in ("bits", "words", "uniforms")
+    ):
+        if n_bits is None:
+            raise ConfigError("testing a stream source requires n_bits")
+        bits = stream_bits(bits, n_bits, word_bits=word_bits)
     return {
         outcome.name: outcome
         for outcome in (

@@ -1,0 +1,146 @@
+"""GF(2) linear algebra for LFSR jump-ahead and bit-parallel lanes.
+
+One LFSR clock is a linear map over GF(2): with the register written as
+a bit vector ``s`` (bit 0 = the next output bit), the update is
+``s' = T s`` for a fixed ``width x width`` transition matrix ``T``.
+Everything the vectorized entropy subsystem needs follows from that
+observation:
+
+* ``T**k`` (computed by square-and-multiply) advances the register ``k``
+  steps in ``O(width**2 log k)`` instead of ``O(k)`` — the *jump-ahead*
+  primitive behind :meth:`repro.rng.lfsr.LFSR.jump` and
+  :meth:`~repro.rng.lfsr.LFSR.spawn`;
+* applying ``T**n`` to a whole *vector* of register states at once
+  (:func:`mat_vec_array`) places the lane phases of the bit-sliced
+  block generator, so 64·S parallel lanes can be seeded from one
+  register in ``O(log lanes)`` vectorized jumps.
+
+Matrices are stored as tuples of integer row masks: bit ``j`` of
+``rows[i]`` is the coefficient of input bit ``j`` in output bit ``i``,
+so ``(T s)_i = parity(rows[i] & s)``.  Squarings of each distinct step
+matrix are memoized in a module-level cache — they depend only on
+``(width, taps)``, not on register state, so every LFSR instance with
+the same polynomial shares them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+#: A GF(2) matrix: row ``i`` is an int mask over the input bits.
+Matrix = Tuple[int, ...]
+
+#: Memoized squarings per step matrix: ``cache[T] == [T, T^2, T^4, ...]``.
+_SQUARINGS: Dict[Matrix, List[Matrix]] = {}
+
+
+def lfsr_step_matrix(width: int, taps: Sequence[int]) -> Matrix:
+    """Transition matrix of one Fibonacci right-shift LFSR clock.
+
+    Mirrors :meth:`repro.rng.lfsr.LFSR.step`: bit ``i`` of the new state
+    is old bit ``i + 1`` (the right shift) except the top bit, which is
+    the XOR of the tap positions ``width - tap``.
+    """
+    if width < 2:
+        raise ConfigError(f"LFSR width must be >= 2, got {width}")
+    rows = [1 << (i + 1) for i in range(width - 1)]
+    feedback = 0
+    for tap in taps:
+        if not 1 <= tap <= width:
+            raise ConfigError(f"tap {tap} out of range for width {width}")
+        feedback |= 1 << (width - tap)
+    rows.append(feedback)
+    return tuple(rows)
+
+
+def identity(width: int) -> Matrix:
+    """The GF(2) identity matrix."""
+    return tuple(1 << i for i in range(width))
+
+
+def mat_vec(rows: Matrix, state: int) -> int:
+    """Apply ``rows`` to one integer state: out bit i = parity(rows[i] & s)."""
+    out = 0
+    for i, mask in enumerate(rows):
+        out |= (bin(mask & state).count("1") & 1) << i
+    return out
+
+
+def mat_mul(a: Matrix, b: Matrix) -> Matrix:
+    """Composition ``a ∘ b`` (apply ``b`` first): row i = XOR of b[k] over set bits k of a[i]."""
+    out = []
+    for row in a:
+        acc = 0
+        rest = row
+        while rest:
+            low = rest & -rest
+            acc ^= b[low.bit_length() - 1]
+            rest ^= low
+        out.append(acc)
+    return tuple(out)
+
+
+def _squarings_for(step: Matrix, upto_bit: int) -> List[Matrix]:
+    """``[T, T^2, T^4, ...]`` covering exponent bit ``upto_bit``, memoized."""
+    powers = _SQUARINGS.setdefault(step, [step])
+    while len(powers) <= upto_bit:
+        powers.append(mat_mul(powers[-1], powers[-1]))
+    return powers
+
+
+def mat_pow(step: Matrix, exponent: int) -> Matrix:
+    """``step ** exponent`` by square-and-multiply over the memoized squarings."""
+    if exponent < 0:
+        raise ConfigError(f"matrix exponent must be >= 0, got {exponent}")
+    result = identity(len(step))
+    if exponent == 0:
+        return result
+    powers = _squarings_for(step, exponent.bit_length() - 1)
+    for bit in range(exponent.bit_length()):
+        if (exponent >> bit) & 1:
+            result = mat_mul(powers[bit], result)
+    return result
+
+
+def advance_state(step: Matrix, state: int, count: int) -> int:
+    """``T**count · state`` without materializing ``T**count``.
+
+    Applies only the power-of-two factors whose exponent bit is set —
+    ``O(width log count)`` parity operations, the jump-ahead fast path.
+    """
+    if count < 0:
+        raise ConfigError(f"jump count must be >= 0, got {count}")
+    if count == 0:
+        return state
+    powers = _squarings_for(step, count.bit_length() - 1)
+    for bit in range(count.bit_length()):
+        if (count >> bit) & 1:
+            state = mat_vec(powers[bit], state)
+    return state
+
+
+def mat_vec_array(rows: Matrix, states: np.ndarray) -> np.ndarray:
+    """Apply ``rows`` to a whole uint64 vector of register states at once.
+
+    The parity of each masked state is computed with a shift-XOR fold
+    (valid for masks below 2**32, i.e. register widths up to 32 — the
+    widest entry in :data:`repro.rng.lfsr.TAPS_BY_WIDTH` is 31).  Used
+    to double the filled lane prefix during jump-ahead lane placement.
+    """
+    out = np.zeros_like(states)
+    one = np.uint64(1)
+    for i, mask in enumerate(rows):
+        if mask == 0:
+            continue
+        parity = states & np.uint64(mask)
+        parity ^= parity >> np.uint64(16)
+        parity ^= parity >> np.uint64(8)
+        parity ^= parity >> np.uint64(4)
+        parity ^= parity >> np.uint64(2)
+        parity ^= parity >> np.uint64(1)
+        out |= (parity & one) << np.uint64(i)
+    return out

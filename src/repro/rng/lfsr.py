@@ -5,14 +5,33 @@ The paper's most aggressive pseudo-RNG baseline is a 19-bit LFSR
 ``2**w - 1`` nonzero states, which is why the paper flags its "relatively
 short period" as a quality risk for applications beyond the three it
 evaluates.
+
+Two execution paths produce the *same* bit stream:
+
+* the **scalar oracle** — :meth:`LFSR.step` one clock at a time, kept
+  alive behind ``use_vectorized=False`` and used by the byte-identity
+  regressions;
+* the **bit-sliced block path** (the default) — the register's GF(2)
+  transition matrix (:mod:`repro.rng.gf2`) jump-ahead places ``64·S``
+  lane phases of the register, the lanes are transposed into ``width``
+  bit planes (one uint64 word per 64 lanes), and each vectorized step
+  advances *all* lanes one clock with a handful of packed XOR word ops
+  while emitting one pre-packed 64-bit output word per plane word.
+  Identical output bits, orders of magnitude fewer Python operations.
+
+Jump-ahead is public: :meth:`LFSR.jump` advances ``k`` steps in
+``O(w² log k)``, and :meth:`LFSR.spawn` derives ``n`` deterministic
+substream registers at provably disjoint stream offsets.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 import numpy as np
 
+from repro.rng import gf2
+from repro.rng.streams import _check_out
 from repro.util.errors import ConfigError
 
 #: Maximal-length tap sets (1-indexed from the output bit) for common
@@ -31,6 +50,15 @@ TAPS_BY_WIDTH = {
     31: (31, 28),
 }
 
+#: Below this many requested bits the scalar loop beats the block
+#: engine's lane-placement setup, so ``bits`` routes to the oracle.
+_VECTOR_MIN_BITS = 256
+
+#: Upper bound on 64-lane superwords per block call (2**15 lanes): more
+#: lanes amortize the per-step Python cost, fewer keep jump-ahead
+#: placement cheap; each lane covers at least ~4096 bits before the cap.
+_MAX_SUPERWORDS = 512
+
 
 class LFSR:
     """Fibonacci LFSR emitting one bit per :meth:`step`.
@@ -45,9 +73,19 @@ class LFSR:
     taps:
         Optional explicit tap positions (1-indexed, position ``width`` is
         the oldest bit).
+    use_vectorized:
+        Route :meth:`bits`/:meth:`words`/:meth:`uniforms` through the
+        bit-sliced block engine (byte-identical to the scalar path).
+        ``False`` keeps every draw on the scalar oracle.
     """
 
-    def __init__(self, width: int = 19, seed: int = 1, taps: tuple = ()):
+    def __init__(
+        self,
+        width: int = 19,
+        seed: int = 1,
+        taps: tuple = (),
+        use_vectorized: bool = True,
+    ):
         if width < 2:
             raise ConfigError(f"LFSR width must be >= 2, got {width}")
         if not taps:
@@ -60,7 +98,9 @@ class LFSR:
             raise ConfigError(f"taps {taps} out of range for width {width}")
         self.width = width
         self.taps = tuple(taps)
+        self.use_vectorized = bool(use_vectorized)
         self._mask = (1 << width) - 1
+        self._step_matrix = gf2.lfsr_step_matrix(width, self.taps)
         state = seed & self._mask
         if state == 0:
             raise ConfigError("LFSR seed must be nonzero modulo 2**width")
@@ -81,7 +121,9 @@ class LFSR:
 
         The register contents are the entire state; width/taps are
         included so :meth:`setstate` can refuse a snapshot taken from a
-        differently configured register.
+        differently configured register.  ``use_vectorized`` is a
+        config switch, not stream state: snapshots move freely between
+        scalar and vectorized registers.
         """
         return {"kind": "lfsr", "width": self.width, "taps": self.taps,
                 "state": self._state}
@@ -115,9 +157,133 @@ class LFSR:
         self._state = (self._state >> 1) | (feedback << (self.width - 1))
         return out
 
+    def jump(self, count: int) -> "LFSR":
+        """Advance the register ``count`` clocks without emitting bits.
+
+        Square-and-multiply on the GF(2) transition matrix makes this
+        ``O(width² log count)``, so arbitrary offsets — including the
+        ``period // n`` substream strides of :meth:`spawn` — cost
+        microseconds.  Byte-identical to ``count`` calls of
+        :meth:`step` with the outputs discarded.  Returns ``self``.
+        """
+        self._state = gf2.advance_state(self._step_matrix, self._state, count)
+        return self
+
+    def spawn(self, n: int, stride: Optional[int] = None) -> List["LFSR"]:
+        """Derive ``n`` deterministic substream registers by jump-ahead.
+
+        Substream ``i`` starts at the current state advanced ``i *
+        stride`` clocks (``self`` is left untouched; substream 0 is a
+        plain copy).  The default stride ``period // n`` partitions one
+        full period into equal segments, so for a maximal-length
+        polynomial the substreams are **provably disjoint** as long as
+        each consumes fewer than ``stride`` bits: segment ``i`` covers
+        stream positions ``[i*stride, (i+1)*stride)`` of the parent
+        register's own future output.  Pass an explicit ``stride`` for
+        non-maximal tap sets or custom placements.
+        """
+        if n < 1:
+            raise ConfigError(f"spawn count must be >= 1, got {n}")
+        if stride is None:
+            stride = self.period // n
+        if stride < 1:
+            raise ConfigError(
+                f"substream stride must be >= 1, got {stride} "
+                f"(n={n} exceeds the period?)"
+            )
+        children: List["LFSR"] = []
+        state = self._state
+        for index in range(n):
+            if index:
+                state = gf2.advance_state(self._step_matrix, state, stride)
+            child = LFSR(self.width, seed=1, taps=self.taps,
+                         use_vectorized=self.use_vectorized)
+            child._state = state
+            children.append(child)
+        return children
+
     def bits(self, count: int) -> np.ndarray:
-        """Return the next ``count`` output bits as a uint8 array."""
+        """Return the next ``count`` output bits as a uint8 array.
+
+        Routed through the bit-sliced block engine when vectorization is
+        on and the request is large enough to amortize lane placement;
+        the stream (and the register state afterwards) is identical
+        either way.
+        """
+        if (
+            not self.use_vectorized
+            or count < _VECTOR_MIN_BITS
+            or self.width > 32
+            or not np.little_endian
+        ):
+            return self._bits_scalar(count)
+        return self._bits_vectorized(count)
+
+    def _bits_scalar(self, count: int) -> np.ndarray:
+        """Scalar oracle: one :meth:`step` per output bit."""
         return np.fromiter((self.step() for _ in range(count)), dtype=np.uint8, count=count)
+
+    def _bits_vectorized(self, count: int) -> np.ndarray:
+        """Bit-sliced block generation of ``count`` stream-ordered bits.
+
+        Layout: ``64·S`` lanes, lane ``ℓ`` jump-ahead-placed at phase
+        ``ℓ·n_steps`` so it owns the contiguous stream chunk
+        ``[ℓ·n_steps, (ℓ+1)·n_steps)``.  The lanes are transposed into
+        ``width`` bit planes (plane ``b``, word ``s``, bit ``j`` = bit
+        ``b`` of lane ``64s + j``); one vectorized step then emits
+        plane 0 — 64 pre-packed output bits per superword — and clocks
+        every lane with ``len(taps) - 1`` packed XORs (the plane list
+        rotates for the right shift, the feedback plane is appended).
+        Afterwards the register jumps to ``T**count`` of its old state,
+        exactly where the scalar path would have left it.
+        """
+        superwords = max(1, min(_MAX_SUPERWORDS, count // 4096))
+        lanes = 64 * superwords
+        n_steps = -(-count // lanes)
+
+        # Jump-ahead lane placement by prefix doubling: lanes [m, 2m)
+        # are lanes [0, m) advanced m·n_steps clocks.
+        starts = np.zeros(lanes, dtype=np.uint64)
+        starts[0] = self._state
+        jump_mat = gf2.mat_pow(self._step_matrix, n_steps)
+        filled = 1
+        while filled < lanes:
+            take = min(filled, lanes - filled)
+            starts[filled:filled + take] = gf2.mat_vec_array(jump_mat, starts[:take])
+            filled += take
+            if filled < lanes:
+                jump_mat = gf2.mat_mul(jump_mat, jump_mat)
+
+        # Transpose lane states into bit planes.
+        one = np.uint64(1)
+        shifts = np.arange(64, dtype=np.uint64)
+        planes = [
+            np.bitwise_or.reduce(
+                ((starts >> np.uint64(b)) & one).reshape(superwords, 64) << shifts,
+                axis=1,
+            )
+            for b in range(self.width)
+        ]
+
+        feedback_planes = tuple(self.width - tap for tap in self.taps)
+        out_words = np.empty((n_steps, superwords), dtype=np.uint64)
+        for k in range(n_steps):
+            out_words[k] = planes[0]
+            if len(feedback_planes) > 1:
+                fb = planes[feedback_planes[0]] ^ planes[feedback_planes[1]]
+                for index in feedback_planes[2:]:
+                    fb ^= planes[index]
+            else:
+                fb = planes[feedback_planes[0]].copy()
+            planes.pop(0)
+            planes.append(fb)
+
+        # Little-endian uint64 -> bit j of word s is lane 64s + j, so a
+        # plain transpose restores chunk-contiguous stream order.
+        raw = np.unpackbits(out_words.view(np.uint8), bitorder="little")
+        stream = raw.reshape(n_steps, lanes).T.reshape(-1)[:count]
+        self.jump(count)
+        return stream
 
     def words(self, count: int, bits_per_word: int) -> np.ndarray:
         """Pack the next ``count * bits_per_word`` bits MSB-first into ints."""
@@ -139,20 +305,28 @@ class LFSR:
         return word
 
     def uniforms(
-        self, count: int, bits_per_word: int = 19, out: np.ndarray = None
+        self,
+        count: int,
+        bits_per_word: int = 19,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Return ``count`` floats in [0, 1) built from packed words.
 
-        With ``out`` (a float64 ``(count,)`` buffer) the words are
-        packed scalar-by-scalar into the caller's buffer — zero
-        allocations, and bit-identical values: a ``bits_per_word``-bit
-        word is exactly representable in a double, and dividing by a
-        power of two is exact, so the Python and NumPy divisions agree
-        to the last ulp.
+        With ``out`` (a float64 ``(count,)`` buffer, validated) the
+        words land in the caller's buffer.  The vectorized path packs a
+        whole block at once; the scalar oracle packs word by word with
+        zero allocations.  Either way the values are bit-identical: a
+        ``bits_per_word``-bit word is exactly representable in a double,
+        and dividing by a power of two is exact, so the Python and NumPy
+        divisions agree to the last ulp.
         """
-        if out is None:
-            return self.words(count, bits_per_word) / float(1 << bits_per_word)
         scale = float(1 << bits_per_word)
+        if out is None:
+            return self.words(count, bits_per_word) / scale
+        _check_out(count, out)
+        if self.use_vectorized and count * bits_per_word >= _VECTOR_MIN_BITS:
+            np.divide(self.words(count, bits_per_word), scale, out=out)
+            return out
         for index in range(count):
             out[index] = self.next_word(bits_per_word) / scale
         return out

@@ -12,18 +12,29 @@ prefetch the fused TTF stage uses: the variates (and the underlying
 generator state advance) are identical to the allocating call, they
 just land in a caller-owned buffer — so pseudo-RNG backends on the
 fused sweep path stop reallocating per half-sweep.
+
+:class:`BufferedBitSource` adds the block-prefetch layer on top: it
+draws ``block``-sized slabs from the wrapped source in one vectorized
+call and serves ``uniforms(count, out=)`` requests from the cached
+plane, so per-half-sweep draws of a few hundred variates stop paying
+the generator's per-call setup.  Its :meth:`~BufferedBitSource.getstate`
+snapshot captures the wrapped state *plus* the buffer cursor, keeping
+checkpoint/resume (:mod:`repro.mrf.checkpoint`) byte-identical even
+when a snapshot lands mid-block.
 """
 
 from __future__ import annotations
 
 import copy
-from typing import Optional, Protocol
+from typing import Optional, Protocol, TYPE_CHECKING
 
 import numpy as np
 
-from repro.rng.lfsr import LFSR
-from repro.rng.mt19937 import MT19937
 from repro.util.errors import ConfigError
+
+if TYPE_CHECKING:  # annotation-only: streams must import before lfsr/mt19937
+    from repro.rng.lfsr import LFSR
+    from repro.rng.mt19937 import MT19937
 
 
 def generator_state(rng: np.random.Generator) -> dict:
@@ -42,9 +53,14 @@ def set_generator_state(rng: np.random.Generator, state: dict) -> None:
 
 
 def _check_out(count: int, out: np.ndarray) -> None:
+    """Validate a caller-owned ``uniforms`` buffer: shape and dtype."""
     if out.shape != (count,):
         raise ConfigError(
             f"uniforms out buffer must have shape ({count},), got {out.shape}"
+        )
+    if out.dtype != np.float64:
+        raise ConfigError(
+            f"uniforms out buffer must be float64, got dtype {out.dtype}"
         )
 
 
@@ -93,13 +109,11 @@ class NumpyBitSource:
 class LFSRBitSource:
     """Uniform source built from a :class:`repro.rng.LFSR`."""
 
-    def __init__(self, lfsr: LFSR, bits_per_word: int = 19):
+    def __init__(self, lfsr: "LFSR", bits_per_word: int = 19):
         self._lfsr = lfsr
         self._bits_per_word = bits_per_word
 
     def uniforms(self, count: int, out: Optional[np.ndarray] = None) -> np.ndarray:
-        if out is not None:
-            _check_out(count, out)
         return self._lfsr.uniforms(count, self._bits_per_word, out=out)
 
     def getstate(self) -> dict:
@@ -112,12 +126,10 @@ class LFSRBitSource:
 class MTBitSource:
     """Uniform source built from the from-scratch :class:`MT19937`."""
 
-    def __init__(self, mt: MT19937):
+    def __init__(self, mt: "MT19937"):
         self._mt = mt
 
     def uniforms(self, count: int, out: Optional[np.ndarray] = None) -> np.ndarray:
-        if out is not None:
-            _check_out(count, out)
         return self._mt.uniforms(count, out=out)
 
     def getstate(self) -> dict:
@@ -125,6 +137,101 @@ class MTBitSource:
 
     def setstate(self, state: dict) -> None:
         self._mt.setstate(state)
+
+
+#: Default prefetch slab: 2**15 variates keeps refills rare on solver
+#: workloads while a mid-block resume regenerates at most one slab.
+DEFAULT_PREFETCH_BLOCK = 1 << 15
+
+
+class BufferedBitSource:
+    """Block-prefetching wrapper around any :class:`BitSource`.
+
+    Draws ``block`` uniforms from the wrapped source per refill (one
+    vectorized call into the generator's block engine) and serves
+    requests from the cached plane.  The served float sequence is
+    *identical* to calling the wrapped source directly — prefetching
+    only moves where the generator work happens — so wrapping a source
+    never changes solve results.
+
+    State capture keeps the compact inner snapshot plus buffer
+    coordinates: ``getstate`` records the wrapped source's state *as of
+    the start of the current slab* along with how many variates the slab
+    holds and how many have been served.  ``setstate`` restores the
+    inner state, regenerates the slab deterministically, and repositions
+    the cursor — byte-identical continuation even when a checkpoint
+    lands mid-block, without persisting the floats themselves.
+    """
+
+    def __init__(self, source, block: int = DEFAULT_PREFETCH_BLOCK):
+        if block < 1:
+            raise ConfigError(f"prefetch block must be >= 1, got {block}")
+        self._source = source
+        self._block = int(block)
+        self._buf = np.empty(0, dtype=np.float64)
+        self._cursor = 0
+        # Wrapped state at the start of the current (empty) slab.
+        self._slab_state = source.getstate()
+
+    @property
+    def source(self):
+        """The wrapped source (shared state: draws advance this object)."""
+        return self._source
+
+    def _refill(self, need: int) -> None:
+        self._slab_state = self._source.getstate()
+        self._buf = self._source.uniforms(max(self._block, need))
+        self._cursor = 0
+
+    def uniforms(self, count: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+        if out is None:
+            target = np.empty(count, dtype=np.float64)
+        else:
+            _check_out(count, out)
+            target = out
+        filled = 0
+        while filled < count:
+            available = self._buf.size - self._cursor
+            if available == 0:
+                self._refill(count - filled)
+                continue
+            take = min(available, count - filled)
+            target[filled:filled + take] = self._buf[self._cursor:self._cursor + take]
+            self._cursor += take
+            filled += take
+        return target
+
+    def getstate(self) -> dict:
+        return {
+            "kind": "buffered",
+            "block": self._block,
+            "inner": copy.deepcopy(self._slab_state),
+            "drawn": int(self._buf.size),
+            "cursor": int(self._cursor),
+        }
+
+    def setstate(self, state: dict) -> None:
+        if state.get("kind") != "buffered":
+            # A bare inner-source snapshot (e.g. a checkpoint written
+            # before prefetching existed): restore it and start a fresh
+            # slab there — same float stream, buffer just refills lazily.
+            self._source.setstate(state)
+            self._slab_state = self._source.getstate()
+            self._buf = np.empty(0, dtype=np.float64)
+            self._cursor = 0
+            return
+        drawn = int(state["drawn"])
+        cursor = int(state["cursor"])
+        if drawn < 0 or not 0 <= cursor <= drawn:
+            raise ConfigError(
+                f"buffered cursor {cursor} outside drawn slab of {drawn}"
+            )
+        self._source.setstate(state["inner"])
+        self._slab_state = self._source.getstate()
+        self._buf = (
+            self._source.uniforms(drawn) if drawn else np.empty(0, dtype=np.float64)
+        )
+        self._cursor = cursor
 
 
 def uniform_from_bits(words: np.ndarray, bits: int) -> np.ndarray:

@@ -97,6 +97,65 @@ class TestInputValidation:
             serial_correlation_test(mt_bits(200), lag=0)
 
 
+class TestStreamSources:
+    """run_battery accepts generators and BitSources directly."""
+
+    def test_lfsr_source_matches_materialized_bits(self):
+        from repro.rng.battery import stream_bits
+
+        direct = np.asarray(LFSR(width=19, seed=123).bits(40_000))
+        np.testing.assert_array_equal(
+            stream_bits(LFSR(width=19, seed=123), 40_000), direct
+        )
+
+    def test_mt_source_unpacks_msb_first(self):
+        from repro.rng.battery import stream_bits
+
+        words = MT19937(seed=7).words(10)
+        bits = stream_bits(MT19937(seed=7), 320)
+        positions = np.arange(31, -1, -1, dtype=np.uint64)
+        expected = ((words[:, None] >> positions) & np.uint64(1)).ravel()
+        np.testing.assert_array_equal(bits, expected.astype(np.uint8))
+
+    def test_uniform_source_recovers_lfsr_words(self):
+        from repro.rng.battery import stream_bits
+        from repro.rng import LFSRBitSource
+
+        source = LFSRBitSource(LFSR(width=19, seed=21))
+        via_uniforms = stream_bits(source, 1900, word_bits=19)
+        # Requantizing the floats on the 19-bit grid is exact, so the
+        # bits equal the generator's own MSB-first word packing.
+        words = LFSR(width=19, seed=21).words(100, 19)
+        positions = np.arange(18, -1, -1, dtype=np.uint64)
+        direct = (
+            (np.asarray(words, dtype=np.uint64)[:, None] >> positions) & np.uint64(1)
+        ).ravel()
+        np.testing.assert_array_equal(via_uniforms, direct.astype(np.uint8))
+
+    def test_run_battery_on_source(self):
+        outcomes = run_battery(MT19937(seed=4), n_bits=40_000)
+        assert set(outcomes) == {
+            "monobit", "runs", "serial_correlation", "block_chi_square"
+        }
+        for outcome in outcomes.values():
+            assert outcome.passed(), outcome
+
+    def test_source_requires_n_bits(self):
+        with pytest.raises(ConfigError):
+            run_battery(MT19937(seed=4))
+
+    def test_stream_bits_validation(self):
+        from repro.rng.battery import stream_bits
+        from repro.rng import LFSRBitSource
+
+        with pytest.raises(ConfigError):
+            stream_bits(LFSR(width=19, seed=1), 0)
+        with pytest.raises(ConfigError):
+            stream_bits(LFSRBitSource(LFSR(width=19, seed=1)), 100, word_bits=60)
+        with pytest.raises(ConfigError):
+            stream_bits(object(), 100)
+
+
 class TestRSUEntropyStream:
     def test_rsu_ttf_low_bit_is_usable_entropy(self):
         """The RSU's binned TTFs carry extractable physical entropy: the

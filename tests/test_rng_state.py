@@ -17,6 +17,7 @@ from repro.core.base import SamplerBackend
 from repro.rng import (
     LFSR,
     MT19937,
+    BufferedBitSource,
     LFSRBitSource,
     MTBitSource,
     NumpyBitSource,
@@ -95,8 +96,12 @@ class TestBitSourceRoundTrips:
             lambda: NumpyBitSource(np.random.default_rng(3)),
             lambda: LFSRBitSource(LFSR(width=19, seed=11)),
             lambda: MTBitSource(MT19937(seed=77)),
+            lambda: BufferedBitSource(
+                LFSRBitSource(LFSR(width=19, seed=11)), block=64
+            ),
+            lambda: BufferedBitSource(MTBitSource(MT19937(seed=77)), block=256),
         ],
-        ids=["numpy", "lfsr", "mt19937"],
+        ids=["numpy", "lfsr", "mt19937", "buffered_lfsr", "buffered_mt"],
     )
     def test_uniforms_round_trip(self, make):
         source = make()

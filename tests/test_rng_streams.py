@@ -3,7 +3,7 @@
 import numpy as np
 
 from repro.rng import LFSR, MT19937, NumpyBitSource, uniform_from_bits
-from repro.rng.streams import LFSRBitSource, MTBitSource
+from repro.rng.streams import BufferedBitSource, LFSRBitSource, MTBitSource
 
 
 class TestNumpyBitSource:
@@ -73,6 +73,31 @@ class TestBufferedUniforms:
         for source in self.sources(2):
             with np.testing.assert_raises(ConfigError):
                 source.uniforms(10, out=np.empty(9, dtype=np.float64))
+
+    def test_rejects_wrong_dtype_buffers(self):
+        from repro.util.errors import ConfigError
+
+        for source in self.sources(2):
+            with np.testing.assert_raises(ConfigError):
+                source.uniforms(10, out=np.empty(10, dtype=np.float32))
+
+
+class TestBufferedBitSource:
+    def test_prefetch_is_transparent(self):
+        # Wrapping any source changes where draws happen, never what
+        # they are — including across refill boundaries.
+        for direct, inner in zip(
+            TestBufferedUniforms().sources(6), TestBufferedUniforms().sources(6)
+        ):
+            buffered = BufferedBitSource(inner, block=100)
+            for count in (30, 100, 171, 2):
+                np.testing.assert_array_equal(
+                    direct.uniforms(count), buffered.uniforms(count)
+                )
+
+    def test_exposes_wrapped_source(self):
+        inner = LFSRBitSource(LFSR(width=19, seed=9))
+        assert BufferedBitSource(inner).source is inner
 
 
 class TestLFSRNextWord:
