@@ -32,6 +32,11 @@ Three lanes:
   ``rng_kind=lfsr`` stereo solve on the buffered vectorized backend vs
   the scalar one.  Word streams and solve labels are asserted
   byte-identical before any time is recorded.
+* ``uarch_sim`` — a machine-in-the-loop stereo solve (every Gibbs batch
+  through the structural ``NewMachine``): per-cycle scalar oracle vs
+  the event-driven batched engine (``use_event_driven``).  Labels and
+  cycle counts are asserted cycle-identical before either time is
+  recorded.
 
 Every lane asserts byte-identical results across its variants before
 recording a time.  Run directly (``python benchmarks/test_bench_perf.py``)
@@ -364,6 +369,63 @@ def bench_entropy_backends(profile_name):
     }
 
 
+#: Machine-in-the-loop workload per profile: (stereo scale, iterations).
+#: Smaller than the functional-solver lanes — the *scalar oracle* side
+#: steps every pipeline latch every cycle, so this is the one lane whose
+#: baseline is thousands of times slower than the functional path.
+UARCH_SOLVES = {"small": (0.18, 40), "tiny": (0.08, 10)}
+
+
+def bench_uarch_sim(profile_name):
+    """Scalar cycle-stepped machines vs the event-driven batched engine.
+
+    One full stereo solve with the structural ``NewMachine`` as the
+    sampler backend, run on both paths.  Cycle identity — final labels,
+    total cycles, and every per-batch cycle count — is asserted before
+    either time is recorded.
+    """
+    from repro.uarch import CycleCountingBackend
+
+    scale, iterations = UARCH_SOLVES[profile_name]
+    dataset = load_stereo("poster", scale=scale)
+    params = StereoParams(iterations=iterations)
+    model = build_stereo_mrf(dataset, params)
+    schedule = geometric_for_span(params.t0, params.t_final, params.iterations)
+
+    def solve(use_event_driven):
+        backend = CycleCountingBackend(
+            new_design_config(), model.max_energy(), np.random.default_rng(5),
+            use_event_driven=use_event_driven,
+        )
+        solver = MCMCSolver(model, backend, schedule, seed=3,
+                            track_energy=False)
+        return solver.run(params.iterations).labels, backend
+
+    # Cycle identity first, then time.
+    labels_event, backend_event = solve(True)
+    labels_scalar, backend_scalar = solve(False)
+    assert np.array_equal(labels_event, labels_scalar), (
+        "event-driven machine diverged from the scalar oracle"
+    )
+    assert backend_event.total_cycles == backend_scalar.total_cycles
+    assert backend_event.batch_cycles == backend_scalar.batch_cycles
+    event_s = min(_timed(lambda: solve(True))[0] for _ in range(2))
+    scalar_s = _timed(lambda: solve(False))[0]
+
+    return {
+        "solve": f"stereo poster scale={scale} iters={iterations} "
+                 f"machine-in-the-loop (NewMachine)",
+        "total_cycles": backend_event.total_cycles,
+        "measured_throughput_labels_per_cycle": round(
+            backend_event.measured_throughput(), 4
+        ),
+        "scalar_s": round(scalar_s, 4),
+        "event_s": round(event_s, 4),
+        "speedup_event_vs_scalar": round(scalar_s / event_s, 2),
+        "results_cycle_identical": True,
+    }
+
+
 def run_perf_baseline(profile_name: str = None) -> dict:
     """Run every lane and write ``BENCH_perf.json``; returns the payload."""
     profile_name = profile_name or os.environ.get("BENCH_PERF_PROFILE", "small")
@@ -387,6 +449,7 @@ def run_perf_baseline(profile_name: str = None) -> dict:
         "sweep_kernel": bench_sweep_kernel(profile),
         "batched_chains": bench_batched_chains(profile),
         "entropy_backends": bench_entropy_backends(profile_name),
+        "uarch_sim": bench_uarch_sim(profile_name),
         "lambda_lut": bench_lambda_lut(profile),
         "registry_engine": bench_registry_engine(profile),
         "sweep_engine": bench_sweep_engine(profile),
@@ -411,6 +474,8 @@ def test_perf_baseline():
     assert payload["entropy_backends"]["speedup_lfsr_vectorized"] > 0
     assert payload["entropy_backends"]["speedup_mt_vectorized"] > 0
     assert payload["entropy_backends"]["speedup_solve_vectorized"] > 0
+    assert payload["uarch_sim"]["results_cycle_identical"]
+    assert payload["uarch_sim"]["speedup_event_vs_scalar"] >= 5.0
 
 
 if __name__ == "__main__":

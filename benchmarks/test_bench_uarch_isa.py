@@ -9,7 +9,8 @@ from repro.uarch import LegacyMachine, NewMachine, jobs_from_energies
 
 
 def test_bench_structural_machines(benchmark, bench_profile):
-    """Cycle-driven simulation of both pipelines on one label stream."""
+    """Event-driven simulation (the default) of both pipelines on one
+    label stream, checked cycle-identical against the scalar oracles."""
     jobs = jobs_from_energies(
         np.random.default_rng(0).integers(0, 256, (60, 12))
     )
@@ -23,6 +24,41 @@ def test_bench_structural_machines(benchmark, bench_profile):
 
     legacy, new = run_once(benchmark, run_both)
     # Same steady-state throughput; the new design has no stalls.
+    assert new.stats["temperature_stalls"] == 0
+    assert abs(new.total_cycles - legacy.total_cycles) < 50
+    # The timed (event-driven) results match the cycle-stepped oracles.
+    for design, config, fast in (
+        ("legacy", legacy_design_config(), legacy),
+        ("new", new_design_config(), new),
+    ):
+        machine_cls = LegacyMachine if design == "legacy" else NewMachine
+        oracle = machine_cls(
+            config, 40.0, np.random.default_rng(1), use_event_driven=False
+        ).run(jobs)
+        assert fast.winners == oracle.winners
+        assert fast.winner_cycle == oracle.winner_cycle
+        assert fast.total_cycles == oracle.total_cycles
+        assert fast.stats == oracle.stats
+
+
+def test_bench_scalar_oracle_machines(benchmark, bench_profile):
+    """The per-cycle scalar oracles, timed for the trajectory record."""
+    jobs = jobs_from_energies(
+        np.random.default_rng(0).integers(0, 256, (60, 12))
+    )
+
+    def run_both():
+        legacy = LegacyMachine(
+            legacy_design_config(), 40.0, np.random.default_rng(1),
+            use_event_driven=False,
+        ).run(jobs)
+        new = NewMachine(
+            new_design_config(), 40.0, np.random.default_rng(1),
+            use_event_driven=False,
+        ).run(jobs)
+        return legacy, new
+
+    legacy, new = run_once(benchmark, run_both)
     assert new.stats["temperature_stalls"] == 0
     assert abs(new.total_cycles - legacy.total_cycles) < 50
 

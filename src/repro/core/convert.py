@@ -303,6 +303,37 @@ def _pow2_round_lower_edge(code: int) -> int:
     return (3 * code) // 4 + 1
 
 
+@lru_cache(maxsize=4096)
+def _cached_boundary_table(temperature: float, config: RSUConfig) -> np.ndarray:
+    table = boundary_table(temperature, config)
+    table.setflags(write=False)
+    return table
+
+
+def cached_boundary_table(temperature: float, config: RSUConfig) -> np.ndarray:
+    """Memoized, read-only :func:`boundary_table`.
+
+    The structural machines rebuild their comparison registers whenever
+    a machine is constructed or a temperature update streams in; an
+    annealing schedule revisits the same handful of grid temperatures,
+    so the table for a (temperature, config) pair is built exactly once
+    per process and shared by every machine thereafter.
+    """
+    return _cached_boundary_table(float(temperature), config)
+
+
+@lru_cache(maxsize=4096)
+def _cached_legacy_lut(temperature: float, config: RSUConfig) -> np.ndarray:
+    table = legacy_lut(temperature, config)
+    table.setflags(write=False)
+    return table
+
+
+def cached_legacy_lut(temperature: float, config: RSUConfig) -> np.ndarray:
+    """Memoized, read-only :func:`legacy_lut` (see :func:`cached_boundary_table`)."""
+    return _cached_legacy_lut(float(temperature), config)
+
+
 def lambda_codes_by_boundaries(
     quantized_energy: np.ndarray, temperature: float, config: RSUConfig
 ) -> np.ndarray:

@@ -196,3 +196,53 @@ def simulate(
         stall_cycles_per_iteration=stall,
         total_cycles=total,
     )
+
+
+def simulate_measured(
+    design: str,
+    labels: int,
+    variables: int,
+    iterations: int,
+    config: RSUConfig,
+    interface_bits: int = 8,
+    seed: int = 0,
+) -> PipelineTiming:
+    """Like :func:`simulate`, but ``total_cycles`` is *executed*, not
+    closed-form: the full run (every iteration preceded by a temperature
+    update) goes through the event-driven structural machine of
+    :mod:`repro.uarch`.
+
+    The two agree up to one bookkeeping difference: the structural
+    legacy machine spends one extra issue slot per iteration on the
+    update *command* itself before the ``legacy_temperature_stall``
+    rewrite cycles, which the closed form folds into steady state — so
+    ``measured == closed + iterations`` for the legacy design and
+    ``measured == closed`` exactly for the new design (asserted in
+    ``tests/test_uarch_events.py``).  Per-iteration derived fields
+    (latencies, stalls) stay closed-form.
+    """
+    closed = simulate(design, labels, variables, iterations, config, interface_bits)
+    import numpy as np  # deferred with the uarch import below
+
+    from repro.uarch.machines import LegacyMachine, NewMachine
+
+    rng = np.random.default_rng(seed)
+    energies = rng.integers(
+        0, 1 << config.energy_bits, size=(variables * iterations, labels)
+    )
+    schedule = {k * variables: 40.0 for k in range(iterations)}
+    if design == "legacy":
+        machine = LegacyMachine(config, 40.0, rng, interface_bits=interface_bits)
+    else:
+        machine = NewMachine(config, 40.0, rng)
+    result = machine.run_matrix(energies, temperature_schedule=schedule)
+    return PipelineTiming(
+        design=design,
+        labels=labels,
+        variables=variables,
+        iterations=iterations,
+        fill_latency=closed.fill_latency,
+        variable_latency=closed.variable_latency,
+        stall_cycles_per_iteration=closed.stall_cycles_per_iteration,
+        total_cycles=result.total_cycles,
+    )

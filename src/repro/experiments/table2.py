@@ -6,14 +6,32 @@ reported side by side with the paper's measurements.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.profiles import FULL, Profile
 from repro.experiments.result import ExperimentResult
-from repro.hw.perf import PAPER_TABLE2, table2_model
+from repro.hw.perf import PAPER_TABLE2, RSUAugmentedModel, table2_model
 
 
-def run(profile: Profile = FULL, seed: int = 0) -> ExperimentResult:
-    """Run Table II: modeled vs paper execution times (seconds)."""
-    model = table2_model()
+def run(
+    profile: Profile = FULL,
+    seed: int = 0,
+    measured_throughput: Optional[float] = None,
+) -> ExperimentResult:
+    """Run Table II: modeled vs paper execution times (seconds).
+
+    ``measured_throughput`` optionally replaces the design-target 1.0
+    label/cycle in the RSU term with a measured value (e.g.
+    ``CycleCountingBackend.measured_throughput()`` from a structural
+    machine-in-the-loop solve).  Default ``None`` keeps the published
+    golden numbers byte-identical.
+    """
+    if measured_throughput is None:
+        model = table2_model()
+    else:
+        model = table2_model(
+            rsu=RSUAugmentedModel(labels_per_cycle=measured_throughput)
+        )
     rows = []
     for config, values in model.items():
         paper = PAPER_TABLE2[config]
@@ -48,5 +66,14 @@ def run(profile: Profile = FULL, seed: int = 0) -> ExperimentResult:
         notes=[
             "Analytical model (repro.hw.perf) calibrated on the SD column;"
             " shape target: RSU-G wins everywhere, more at higher label counts.",
-        ],
+        ]
+        + (
+            []
+            if measured_throughput is None
+            else [
+                f"RSU term grounded in measured throughput"
+                f" {measured_throughput:.4f} labels/cycle from the structural"
+                f" machine (repro.uarch)."
+            ]
+        ),
     )

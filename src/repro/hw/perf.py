@@ -73,14 +73,23 @@ class RSUAugmentedModel:
     effective_units: int = 12
     rsu_frequency_hz: float = 1.0e9
     staging_cycles_per_pixel: float = 1800.0
+    #: Steady-state label evaluations per cycle per unit.  1.0 is the
+    #: design target (Question 3); pass a measured value — e.g.
+    #: ``CycleCountingBackend.measured_throughput()`` from a structural
+    #: machine-in-the-loop solve — to ground the model in simulation.
+    labels_per_cycle: float = 1.0
 
     def solve_time(self, pixels: int, labels: int, iterations: int) -> float:
         """Seconds for the same solve with sampling offloaded to RSU-Gs."""
+        if not 0 < self.labels_per_cycle <= 1.0:
+            raise ConfigError(
+                f"labels_per_cycle must be in (0, 1], got {self.labels_per_cycle}"
+            )
         staging = (
             iterations * pixels * self.staging_cycles_per_pixel
         ) / self.gpu.cycles_per_second(pixels)
         sampling = (iterations * pixels * labels) / (
-            self.effective_units * self.rsu_frequency_hz
+            self.effective_units * self.rsu_frequency_hz * self.labels_per_cycle
         )
         return staging + sampling
 

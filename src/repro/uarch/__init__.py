@@ -21,14 +21,30 @@ distributionally identical to the functional simulators — the tests
 assert that, plus the structural invariants (no structural hazards, at
 most two variables resident in the FIFO, no RET-network reuse before
 the residual-excitation rest interval).
+
+Both machines default to the event-driven batched engine in
+:mod:`repro.uarch.events` (``use_event_driven=True``), which computes
+the identical :class:`MachineResult` — cycle for cycle, bit for bit —
+from scheduled events and vectorized numpy instead of per-cycle latch
+stepping.  The scalar loops remain as the oracles (and run whenever a
+:class:`PipelineTrace` is attached).
 """
 
 from repro.uarch.backend import CycleCountingBackend, MachineBackend
+from repro.uarch.events import (
+    EventQueue,
+    JobStream,
+    stream_from_jobs,
+    stream_from_matrix,
+    ttf_bins_from_uniforms,
+)
 from repro.uarch.trace import PipelineTrace, TraceEvent
 from repro.uarch.machines import (
     LegacyMachine,
     MachineResult,
+    NewDesignMachine,
     NewMachine,
+    PreviousDesignMachine,
     VariableJob,
     jobs_from_energies,
 )
@@ -38,9 +54,16 @@ __all__ = [
     "TraceEvent",
     "CycleCountingBackend",
     "MachineBackend",
+    "EventQueue",
+    "JobStream",
+    "stream_from_jobs",
+    "stream_from_matrix",
+    "ttf_bins_from_uniforms",
     "LegacyMachine",
     "MachineResult",
+    "NewDesignMachine",
     "NewMachine",
+    "PreviousDesignMachine",
     "VariableJob",
     "jobs_from_energies",
 ]

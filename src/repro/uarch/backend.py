@@ -13,10 +13,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Dict
+
 from repro.core.base import SamplerBackend
 from repro.core.energy import EnergyStage
 from repro.core.params import RSUConfig
-from repro.uarch.machines import LegacyMachine, NewMachine, jobs_from_energies
+from repro.uarch.machines import LegacyMachine, NewMachine
 from repro.util.errors import ConfigError
 
 
@@ -34,12 +36,19 @@ class MachineBackend(SamplerBackend):
     rng:
         Entropy source shared by the machine's RET model.
 
+    use_event_driven:
+        Route each batch through the event-driven engine
+        (:mod:`repro.uarch.events`, default) or the per-cycle scalar
+        oracle.  Both produce identical labels and cycle counts; the
+        event path is the fast one.
+
     Notes
     -----
-    The machine is rebuilt per batch because the grid temperature
-    changes each annealing iteration (the legacy variant pays its LUT
-    rewrite stall implicitly through its timing stats).  Total cycles
-    across all batches accumulate in :attr:`total_cycles`.
+    Machines are cached per grid temperature (the annealing schedule
+    revisits only a few quantized temperatures, and a machine carries no
+    run-to-run state beyond the shared RNG), so conversion tables are
+    built once per temperature, not once per batch.  Total cycles across
+    all batches accumulate in :attr:`total_cycles`.
     """
 
     name = "machine"
@@ -49,6 +58,7 @@ class MachineBackend(SamplerBackend):
         config: RSUConfig,
         energy_full_scale: float,
         rng: np.random.Generator,
+        use_event_driven: bool = True,
     ):
         new_style = config.scaling and config.cutoff and config.pow2_lambda
         legacy_style = not (config.scaling or config.cutoff or config.pow2_lambda)
@@ -61,21 +71,42 @@ class MachineBackend(SamplerBackend):
         self.energy_stage = EnergyStage(config.energy_bits, energy_full_scale)
         self._rng = rng
         self._new_style = new_style
+        self._use_event_driven = use_event_driven
+        self._machines: Dict[float, object] = {}
         self.total_cycles = 0
         self.batches = 0
+
+    def _machine_for(self, grid_temperature: float):
+        machine = self._machines.get(grid_temperature)
+        if machine is None:
+            if self._new_style:
+                machine = NewMachine(
+                    self.config,
+                    grid_temperature,
+                    self._rng,
+                    use_event_driven=self._use_event_driven,
+                )
+            else:
+                machine = LegacyMachine(
+                    self.config,
+                    grid_temperature,
+                    self._rng,
+                    use_event_driven=self._use_event_driven,
+                )
+            self._machines[grid_temperature] = machine
+        return machine
 
     def _sample_batch(self, energies: np.ndarray, temperature: float) -> np.ndarray:
         quantized = self.energy_stage.quantize(energies)
         grid_temperature = self.energy_stage.quantized_temperature(temperature)
-        if self._new_style:
-            machine = NewMachine(self.config, grid_temperature, self._rng)
-        else:
-            machine = LegacyMachine(self.config, grid_temperature, self._rng)
-        result = machine.run(jobs_from_energies(quantized))
+        machine = self._machine_for(grid_temperature)
+        result = machine.run_matrix(quantized)
         self.total_cycles += result.total_cycles
         self.batches += 1
-        return np.array(
-            [result.winners[v] for v in range(quantized.shape[0])], dtype=np.int64
+        return np.fromiter(
+            (result.winners[v] for v in range(quantized.shape[0])),
+            dtype=np.int64,
+            count=quantized.shape[0],
         )
 
 

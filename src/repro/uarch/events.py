@@ -1,0 +1,719 @@
+"""Event-driven batched timing engine for the structural RSU-G machines.
+
+The scalar machines in :mod:`repro.uarch.machines` step **every cycle**
+and, inside the cycle loop, scan every pending completion and every
+FIFO slot.  That is the right shape for an oracle — each latch is
+explicit and every paper figure maps onto one ``if`` — but it makes
+machine-in-the-loop solves O(cycles · state) with a large Python
+constant: one ``rng.random((1, 1))`` NumPy round-trip *per label*, one
+``sorted(completions)`` scan *per cycle*.
+
+This module recomputes the **same machine, cycle for cycle**, from its
+scheduled events instead:
+
+* **Issue events** are closed-form: both front ends issue one label per
+  cycle, so the issue cycle of every evaluation is a cumulative sum over
+  the job stream (plus, for the previous design, the LUT-rewrite stall
+  blocks).
+* **Completion events** replace the per-cycle ``sorted(completions)``
+  scan: a RET observation scheduled at cycle ``r`` *is* its completion
+  event at ``r + window - 1`` — nothing needs to be discovered by
+  polling.  Idle cycles are never visited.
+* **Back-end occupancy** of the new design is a pair of max-plus
+  recurrences over the pop/convert/RET latches.  Under
+  ``conflict_policy="count"`` nothing feeds back into timing, so the
+  recurrence collapses to one ``np.maximum.accumulate``; under
+  ``"stall"`` the RET-network conflicts do feed back, and a genuine
+  event loop (one step per *evaluation*, not per cycle) walks the
+  :class:`EventQueue` of winner deliveries and shadow-register updates.
+* **Entropy** is drawn in one batched ``rng.random(total)`` call.  The
+  scalar machine consumes one uniform per RET issue and, under the
+  ``random`` tie policy, one row of uniforms per variable completion —
+  interleaved in cycle order.  A NumPy ``Generator`` fills a bulk
+  request from the identical double stream as repeated scalar requests,
+  so slicing the bulk draw at the event-ordered offsets reproduces the
+  scalar values bit for bit *and* leaves the generator in the identical
+  final state.
+
+The result is proven cycle-identical to the scalar oracle — same
+winners, same winner cycles, same total cycles, same stats dict — by
+``tests/test_uarch_events.py`` across designs, conflict policies,
+``Time_bits``, label counts and temperature schedules, plus an
+end-to-end machine-in-the-loop solve.
+
+Not handled here (the machines fall back to the scalar oracle): runs
+with a :class:`~repro.uarch.trace.PipelineTrace` attached (tracing
+wants the per-cycle walk) and ``float_time`` configs (the idealized
+IEEE-time stage is not part of the binned hardware design).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.convert import cached_boundary_table, cached_legacy_lut
+from repro.core.params import RSUConfig
+from repro.core.pipeline import legacy_temperature_stall
+from repro.core.ttf import cutoff_bin, no_sample_bin
+from repro.util.errors import ConfigError
+
+#: Sentinel "minus infinity" for the max-plus recurrences (int64-safe).
+_NEG = np.int64(-(1 << 60))
+
+
+class EventQueue:
+    """Minimal time-ordered event core (binary heap, FIFO within a cycle).
+
+    The batched paths schedule completions arithmetically, but the
+    ``stall`` conflict policy genuinely interleaves three event kinds —
+    winner deliveries, shadow-register updates, RET issues — whose
+    order feeds back into timing.  This queue keeps them sorted by
+    ``(cycle, insertion order)`` so the walk advances from event to
+    event, never cycle to cycle.
+    """
+
+    __slots__ = ("_heap", "_tick")
+
+    def __init__(self):
+        self._heap: list = []
+        self._tick = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, cycle: int, payload) -> None:
+        """Schedule ``payload`` at ``cycle``."""
+        heapq.heappush(self._heap, (cycle, self._tick, payload))
+        self._tick += 1
+
+    def peek_cycle(self) -> Optional[int]:
+        """Cycle of the earliest pending event (None when empty)."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop_due(self, cycle: int) -> List[Tuple[int, object]]:
+        """Pop every event scheduled at or before ``cycle``, in order."""
+        due = []
+        while self._heap and self._heap[0][0] <= cycle:
+            item = heapq.heappop(self._heap)
+            due.append((item[0], item[2]))
+        return due
+
+
+@dataclass
+class JobStream:
+    """Canonical flat view of a job list, in *evaluation* order.
+
+    Both machines issue a job's labels with a decrementing counter
+    (label ``M-1`` first), so evaluation order within a job is reversed
+    label order; ``energies_eval`` stores energies in that order.
+    """
+
+    variable_ids: List[int]
+    labels_per_job: np.ndarray  # (V,) int64
+    offsets: np.ndarray  # (V + 1,) int64 prefix sums into the flat arrays
+    energies_eval: np.ndarray  # (N,) int64 quantized energies, eval order
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.variable_ids)
+
+    @property
+    def n_evals(self) -> int:
+        return int(self.offsets[-1])
+
+
+def stream_from_jobs(jobs: Sequence) -> JobStream:
+    """Flatten a ``VariableJob`` sequence (labels reversed per job)."""
+    labels_per_job = np.asarray([len(job.energies) for job in jobs], dtype=np.int64)
+    offsets = np.zeros(len(jobs) + 1, dtype=np.int64)
+    np.cumsum(labels_per_job, out=offsets[1:])
+    energies_eval = np.concatenate(
+        [np.asarray(job.energies)[::-1].astype(np.int64) for job in jobs]
+    )
+    return JobStream(
+        [job.variable_id for job in jobs], labels_per_job, offsets, energies_eval
+    )
+
+
+def stream_from_matrix(quantized: np.ndarray) -> JobStream:
+    """Flatten an ``(n_vars, M)`` quantized-energy matrix without
+    materializing per-variable job objects (the backend hot path)."""
+    arr = np.asarray(quantized)
+    if arr.ndim != 2 or arr.shape[0] < 1 or arr.shape[1] < 1:
+        raise ConfigError(f"expected a non-empty (n_vars, M) matrix, got {arr.shape}")
+    n_vars, labels = arr.shape
+    labels_per_job = np.full(n_vars, labels, dtype=np.int64)
+    offsets = np.arange(n_vars + 1, dtype=np.int64) * labels
+    energies_eval = np.ascontiguousarray(arr[:, ::-1]).astype(np.int64).reshape(-1)
+    return JobStream(list(range(n_vars)), labels_per_job, offsets, energies_eval)
+
+
+def ttf_bins_from_uniforms(
+    config: RSUConfig, codes: np.ndarray, uniforms: np.ndarray
+) -> np.ndarray:
+    """Binned TTFs for pre-drawn uniforms; bit-identical to
+    :meth:`repro.core.ttf.TTFSampler.sample` lane for lane.
+
+    The scalar machines call ``sample(np.array([[code]]))`` once per
+    label; every op past the uniform draw is elementwise, so running the
+    identical op chain over the whole evaluation vector produces the
+    identical bins — provided ``uniforms[i]`` is the very double the
+    scalar call would have drawn (the caller's interleaving contract).
+    """
+    active = codes > 0
+    rates = codes[active].astype(np.float64) * config.lambda0_per_bin
+    continuous = np.log1p(-uniforms[active])
+    np.negative(continuous, out=continuous)
+    continuous /= rates
+    bins = np.ceil(continuous, out=continuous)
+    if config.clamp_to_tmax:
+        np.minimum(bins, config.time_bins, out=bins)
+    else:
+        bins[bins > config.time_bins] = no_sample_bin(config)
+    ttf = np.full(codes.shape, cutoff_bin(config), dtype=np.int64)
+    ttf[active] = bins
+    return ttf
+
+
+def _interleaved_uniforms(
+    rng: np.random.Generator,
+    ret_cycles: np.ndarray,
+    delivery_last: np.ndarray,
+    labels_per_job: np.ndarray,
+    tie_random: bool,
+):
+    """One bulk draw covering every uniform the scalar machine consumes.
+
+    Per cycle the scalar machine drains completions (step 1 — a
+    ``random`` tie-break row of ``M`` uniforms when a variable
+    completes) *before* issuing to the RET stage (step 2 — one uniform
+    per evaluation).  Encoding each event as ``2 * cycle + phase``
+    (selection phase 0, TTF phase 1) and prefix-summing the draw counts
+    in that order yields each event's offset into the single bulk draw.
+
+    Returns ``(ttf_uniforms, sel_pool, sel_starts)``; the selection pair
+    is ``(None, None)`` for deterministic tie policies.
+    """
+    n_evals = ret_cycles.size
+    if not tie_random:
+        return rng.random(n_evals), None, None
+    keys = np.concatenate([ret_cycles * 2 + 1, delivery_last * 2])
+    counts = np.concatenate(
+        [np.ones(n_evals, dtype=np.int64), labels_per_job.astype(np.int64)]
+    )
+    order = np.argsort(keys, kind="stable")
+    starts_sorted = np.zeros(order.size, dtype=np.int64)
+    np.cumsum(counts[order][:-1], out=starts_sorted[1:])
+    starts = np.empty_like(starts_sorted)
+    starts[order] = starts_sorted
+    pool = rng.random(int(counts.sum()))
+    ttf_uniforms = pool[starts[:n_evals]]
+    return ttf_uniforms, pool, starts[n_evals:]
+
+
+def _select_winners(
+    stream: JobStream,
+    ttf_eval: np.ndarray,
+    tie_policy: str,
+    sel_pool: Optional[np.ndarray],
+    sel_starts: Optional[np.ndarray],
+) -> np.ndarray:
+    """Per-variable first-to-fire winners, batched over equal label counts.
+
+    Mirrors :func:`repro.core.base.select_first_to_fire` on each
+    variable's TTF row (indexed by *label*, so the eval-order flat array
+    is reversed per job): integer keys ``ttf * M + order`` and a row
+    argmin.  Rows are grouped by label count so one vectorized argmin
+    covers each group; per-row results are unchanged by the grouping.
+    """
+    winners = np.empty(stream.n_jobs, dtype=np.int64)
+    job_labels = stream.labels_per_job
+    for labels in np.unique(job_labels):
+        labels = int(labels)
+        jobs_idx = np.nonzero(job_labels == labels)[0]
+        # Eval order is label M-1 .. 0: position offset + (M-1-label).
+        gather = stream.offsets[jobs_idx][:, None] + (
+            labels - 1 - np.arange(labels, dtype=np.int64)
+        )
+        rows = ttf_eval[gather]  # (n_group, M), indexed by label
+        if tie_policy == "first":
+            order = np.broadcast_to(np.arange(labels, dtype=np.int64), rows.shape)
+        elif tie_policy == "last":
+            order = np.broadcast_to(
+                np.arange(labels - 1, -1, -1, dtype=np.int64), rows.shape
+            )
+        else:  # random — the uniform rows the scalar tracker would draw
+            u_rows = sel_pool[
+                sel_starts[jobs_idx][:, None] + np.arange(labels, dtype=np.int64)
+            ]
+            order = np.argsort(u_rows, axis=1).astype(np.int64)
+        keys = rows * np.int64(labels) + order
+        winners[jobs_idx] = np.argmin(keys, axis=1)
+    return winners
+
+
+def _finish(
+    stream: JobStream,
+    machine,
+    codes_eval: np.ndarray,
+    ret_cycles: np.ndarray,
+    delivery_last: np.ndarray,
+    issue_start: np.ndarray,
+    stats: Dict[str, int],
+):
+    """Shared tail: batched entropy, TTF binning, selection, result dicts."""
+    from repro.uarch.machines import MachineResult  # local: avoid cycle
+
+    config = machine.config
+    ttf_uniforms, sel_pool, sel_starts = _interleaved_uniforms(
+        machine._rng,
+        ret_cycles,
+        delivery_last,
+        stream.labels_per_job,
+        config.tie_policy == "random",
+    )
+    ttf_eval = ttf_bins_from_uniforms(config, codes_eval, ttf_uniforms)
+    winner_labels = _select_winners(
+        stream, ttf_eval, config.tie_policy, sel_pool, sel_starts
+    )
+    winners = {
+        vid: int(winner_labels[j]) for j, vid in enumerate(stream.variable_ids)
+    }
+    winner_cycle = {
+        vid: int(delivery_last[j]) for j, vid in enumerate(stream.variable_ids)
+    }
+    stats["issue_cycles"] = {
+        vid: int(issue_start[j]) for j, vid in enumerate(stream.variable_ids)
+    }
+    total_cycles = int(delivery_last[-1]) + 1
+    return MachineResult(winners, winner_cycle, total_cycles, stats)
+
+
+def _eval_index_within_job(stream: JobStream) -> np.ndarray:
+    """Position of each evaluation within its job (0-based, eval order)."""
+    return np.arange(stream.n_evals, dtype=np.int64) - np.repeat(
+        stream.offsets[:-1], stream.labels_per_job
+    )
+
+
+def _delivery_cycles(ret_cycles: np.ndarray, window: int) -> np.ndarray:
+    """Selection-latch cycle of each completion event.
+
+    A multi-cycle window's TTF is drained in the window's last cycle
+    (``r + window - 1``); a single-cycle window completes in its own
+    issue cycle, after that cycle's drain step already ran, so it
+    latches one cycle later.
+    """
+    return ret_cycles + (window - 1 if window > 1 else 1)
+
+
+# ---------------------------------------------------------------------------
+# Previous design (Fig. 2b)
+# ---------------------------------------------------------------------------
+
+
+def run_legacy_machine(
+    machine, stream: JobStream, temperature_schedule: Optional[Dict[int, float]]
+):
+    """Event-driven run of :class:`~repro.uarch.machines.LegacyMachine`.
+
+    The previous design is a hazard-free in-order pipe (the RET stage is
+    replicated ``window``-fold, so with one issue per cycle a unit is
+    always free): issue at ``t``, energy at ``t+1``, LUT at ``t+2``, RET
+    issue at ``t+3``, completion at ``t+2+window``.  Only the issue
+    stream needs computing — a temperature update inserts ``1 + stall``
+    dead cycles (the update command's issue slot plus the LUT rewrite)
+    ahead of its job — and every downstream event follows by fixed
+    offsets.  The LUT *epoch* of each evaluation is its convert cycle
+    searched against the rewrite cycles: the scalar machine rewrites the
+    LUT the moment the update pops, so the tail of the preceding job
+    (already issued, not yet converted) reads the new table; the
+    searchsorted reproduces that boundary exactly.
+    """
+    temperature_schedule = temperature_schedule or {}
+    config = machine.config
+    window = machine.window
+    stall = legacy_temperature_stall(config, machine._interface_bits)
+
+    issue_start = np.empty(stream.n_jobs, dtype=np.int64)
+    rewrite_cycles: List[int] = []
+    rewrite_temps: List[float] = []
+    cursor = 0
+    for j in range(stream.n_jobs):
+        if j in temperature_schedule:
+            rewrite_cycles.append(cursor)
+            rewrite_temps.append(temperature_schedule[j])
+            cursor += 1 + stall
+        issue_start[j] = cursor
+        cursor += int(stream.labels_per_job[j])
+
+    issue_eval = np.repeat(issue_start, stream.labels_per_job) + _eval_index_within_job(
+        stream
+    )
+    convert_cycles = issue_eval + 2
+    ret_cycles = issue_eval + 3
+    delivery = _delivery_cycles(ret_cycles, window)
+    delivery_last = delivery[stream.offsets[1:] - 1]
+
+    # LUT epoch per evaluation: a rewrite at cycle c is visible to
+    # conversions at cycles > c (the rewrite happens in the issue step,
+    # after that cycle's convert step already ran).
+    tables = [machine._lut] + [
+        cached_legacy_lut(temp, config) for temp in rewrite_temps
+    ]
+    if rewrite_cycles:
+        epoch = np.searchsorted(
+            np.asarray(rewrite_cycles, dtype=np.int64), convert_cycles, side="left"
+        )
+        stacked = np.stack(tables)
+        codes_eval = stacked[epoch, stream.energies_eval]
+        machine._lut = tables[-1]  # match the scalar machine's end state
+    else:
+        codes_eval = machine._lut[stream.energies_eval]
+
+    stats = {
+        "hazard_stalls": 0,
+        "temperature_stalls": stall * len(rewrite_cycles),
+    }
+    return _finish(
+        stream, machine, codes_eval, ret_cycles, delivery_last, issue_start, stats
+    )
+
+
+# ---------------------------------------------------------------------------
+# New design (Fig. 10 / Fig. 11)
+# ---------------------------------------------------------------------------
+
+
+def _boundary_codes(
+    bounds: np.ndarray, scaled: np.ndarray, config: RSUConfig
+) -> np.ndarray:
+    """Comparison-based conversion over pre-scaled integer energies.
+
+    Same construction as
+    :func:`repro.core.convert.lambda_codes_by_boundaries`: one
+    searchsorted against ``bounds + 1e-12`` (the scalar comparators'
+    slop, bit for bit), then a gather of the halving code ladder.
+    """
+    interval = np.searchsorted(bounds + 1e-12, scaled, side="left")
+    ladder = np.concatenate(
+        [
+            config.lambda_max_code >> np.arange(bounds.size, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+        ]
+    )
+    return ladder[interval]
+
+
+def _scaled_energies(stream: JobStream) -> np.ndarray:
+    """Per-evaluation ``energy - min(job energies)`` (the scaling stage)."""
+    mins = np.minimum.reduceat(stream.energies_eval, stream.offsets[:-1])
+    return stream.energies_eval - np.repeat(mins, stream.labels_per_job)
+
+
+def _new_front_end(stream: JobStream) -> Tuple[np.ndarray, np.ndarray]:
+    """Issue cycles and back-end availability of the decoupled front end.
+
+    The front end never stalls: evaluation ``i`` issues at cycle ``i``.
+    A job becomes poppable two cycles after its minimum latches (the
+    latch lands in the FIFO-insert step of cycle ``issue(label 0) + 2``,
+    and the pop step of a cycle runs before that cycle's insert step):
+    ``avail(j) = first_issue(j) + M_j + 2``.
+    """
+    issue_start = stream.offsets[:-1].copy()
+    avail = issue_start + stream.labels_per_job + 2
+    return issue_start, avail
+
+
+def _swap_epochs(
+    machine,
+    stream: JobStream,
+    temperature_schedule: Dict[int, float],
+    delivery_last: np.ndarray,
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Boundary-register epochs from the shadow-swap event walk.
+
+    Updates arm the shadow registers in the issue step of their job's
+    first cycle; the next winner delivery (a strictly later cycle —
+    deliveries run before issues within a cycle) swaps them in.  Returns
+    the swap cycles and the boundary table active from each swap on
+    (index 0 is the pre-run table).
+    """
+    update_cycles = sorted(
+        (int(stream.offsets[j]), temperature_schedule[j])
+        for j in temperature_schedule
+        if 0 <= j < stream.n_jobs
+    )
+    tables = [machine._bounds]
+    swap_cycles: List[int] = []
+    shadow = None
+    cursor = 0
+    for j in range(stream.n_jobs):
+        delivery = int(delivery_last[j])
+        while cursor < len(update_cycles) and update_cycles[cursor][0] < delivery:
+            shadow = update_cycles[cursor][1]
+            cursor += 1
+        if shadow is not None:
+            swap_cycles.append(delivery)
+            tables.append(cached_boundary_table(shadow, machine.config))
+            shadow = None
+    machine._bounds = tables[-1]
+    machine._shadow_bounds = None
+    return np.asarray(swap_cycles, dtype=np.int64), tables
+
+
+def _codes_by_epoch(
+    convert_cycles: np.ndarray,
+    scaled: np.ndarray,
+    swap_cycles: np.ndarray,
+    tables: List[np.ndarray],
+    config: RSUConfig,
+) -> np.ndarray:
+    """Convert each evaluation against the boundary table live at its
+    convert cycle (a swap at cycle ``d`` covers converts at ``>= d``)."""
+    if swap_cycles.size == 0:
+        return _boundary_codes(tables[0], scaled, config)
+    epoch = np.searchsorted(swap_cycles, convert_cycles, side="right")
+    codes = np.empty(scaled.shape, dtype=np.int64)
+    for index, bounds in enumerate(tables):
+        mask = epoch == index
+        if np.any(mask):
+            codes[mask] = _boundary_codes(bounds, scaled[mask], config)
+    return codes
+
+
+def _fifo_stats(
+    stream: JobStream, pop_cycles: np.ndarray, stats: Dict[str, int]
+) -> None:
+    """High-water marks of the energy FIFO, from insert/pop event times.
+
+    Entry ``i`` is inserted in cycle ``i + 2``; the machine samples the
+    occupancy once per cycle after both the pop and the insert step, so
+    the entry count at an insert cycle ``c`` is ``(inserts <= c) -
+    (pops <= c)`` — and the maximum over all cycles is attained at
+    insert cycles, the only moments occupancy grows.  Same construction
+    per *variable* using each job's first insert and last pop.
+    """
+    n = stream.n_evals
+    insert_cycles = np.arange(n, dtype=np.int64) + 2
+    entries = np.arange(1, n + 1, dtype=np.int64) - np.searchsorted(
+        pop_cycles, insert_cycles, side="right"
+    )
+    stats["fifo_max_entries"] = max(0, int(entries.max()))
+
+    first_insert = stream.offsets[:-1] + 2
+    last_pop = pop_cycles[stream.offsets[1:] - 1]
+    variables = np.arange(1, stream.n_jobs + 1, dtype=np.int64) - np.searchsorted(
+        last_pop, first_insert, side="right"
+    )
+    stats["fifo_max_variables"] = max(0, int(variables.max()))
+
+
+def _count_policy_conflicts(
+    ret_cycles: np.ndarray,
+    codes_eval: np.ndarray,
+    window: int,
+    waveguides: int,
+    stats: Dict[str, int],
+) -> None:
+    """Network-conflict stats for ``conflict_policy="count"``.
+
+    Every same-code RET issue after the first within one observation
+    window is a conflict (the active waveguide is a function of the
+    window index, so the colliding network is fully keyed by
+    ``(window, code)``).  Reuse violations are counted per first issue
+    of a network in a new window whose rest gap is short — with the
+    QDLED counter rotating the waveguide every window the gap between
+    uses of one physical network is always a multiple of ``waveguides``,
+    so the faithful computation below lands on the scalar oracle's zero.
+    """
+    active = codes_eval > 0
+    n_active = int(np.count_nonzero(active))
+    if n_active == 0:
+        stats["network_conflicts"] = 0
+        stats["reuse_violations"] = 0
+        return
+    window_index = ret_cycles[active] // window
+    conc = np.log2(codes_eval[active]).astype(np.int64)
+    n_conc = int(conc.max()) + 1
+    pair_key = window_index * n_conc + conc
+    unique_pairs = np.unique(pair_key)
+    stats["network_conflicts"] = n_active - unique_pairs.size
+    # Unique (network, window) uses, sorted; short gaps within one
+    # physical network are violations.
+    uniq_wi = unique_pairs // n_conc
+    uniq_conc = unique_pairs % n_conc
+    network = (uniq_wi % waveguides) * n_conc + uniq_conc
+    order = np.lexsort((uniq_wi, network))
+    network, uniq_wi = network[order], uniq_wi[order]
+    same = network[1:] == network[:-1]
+    gaps = uniq_wi[1:] - uniq_wi[:-1]
+    stats["reuse_violations"] = int(np.count_nonzero(same & (gaps < waveguides)))
+
+
+def run_new_machine(
+    machine, stream: JobStream, temperature_schedule: Optional[Dict[int, float]]
+):
+    """Event-driven run of :class:`~repro.uarch.machines.NewMachine`.
+
+    Back-end latch recurrences (steps ordered RET < convert < pop
+    within a cycle; ``p``/``c``/``r`` are the cycles evaluation ``i``
+    enters the scale latch, compare latch and RET stage)::
+
+        p(i) = max(c(i-1), avail(job(i)))      # pop when scale latch frees
+        c(i) = max(p(i) + 1, r(i-1))           # convert when compare frees
+        r(i) = first conflict-free cycle >= c(i) + 1
+
+    Under ``conflict_policy="count"`` every attempt succeeds, the
+    system is max-plus linear and one ``np.maximum.accumulate`` yields
+    every latch time.  Under ``"stall"`` a same-window same-code issue
+    parks in the compare latch until the window turns — timing now
+    depends on the codes, which depend on the boundary epochs, which
+    depend on earlier winner deliveries — so an :class:`EventQueue`
+    walk advances evaluation by evaluation, draining due
+    delivery/update events before each convert.
+    """
+    temperature_schedule = temperature_schedule or {}
+    config = machine.config
+    window = machine.window
+    waveguides = machine.waveguides
+    issue_start, avail = _new_front_end(stream)
+    scaled = _scaled_energies(stream)
+    n = stream.n_evals
+
+    stats = {
+        "network_conflicts": 0,
+        "conflict_stalls": 0,
+        "fifo_max_entries": 0,
+        "fifo_max_variables": 0,
+        "reuse_violations": 0,
+        "temperature_stalls": 0,
+    }
+
+    if machine._conflict_policy == "count":
+        # Max-plus closed form: c(i) = i + 1 + max_{k<=i}(avail(k) - k)
+        # with avail(k) defined at each job's first evaluation.
+        shift = np.full(n, _NEG, dtype=np.int64)
+        shift[stream.offsets[:-1]] = stream.labels_per_job + 2
+        convert_cycles = (
+            np.arange(n, dtype=np.int64) + 1 + np.maximum.accumulate(shift)
+        )
+        pop_cycles = convert_cycles - 1
+        ret_cycles = convert_cycles + 1
+        delivery_last = _delivery_cycles(ret_cycles, window)[stream.offsets[1:] - 1]
+        swap_cycles, tables = _swap_epochs(
+            machine, stream, temperature_schedule, delivery_last
+        )
+        codes_eval = _codes_by_epoch(
+            convert_cycles, scaled, swap_cycles, tables, config
+        )
+        _count_policy_conflicts(ret_cycles, codes_eval, window, waveguides, stats)
+    else:
+        codes_eval, pop_cycles, ret_cycles, delivery_last = _stall_policy_walk(
+            machine, stream, temperature_schedule, avail, scaled, stats
+        )
+
+    _fifo_stats(stream, pop_cycles, stats)
+    return _finish(
+        stream, machine, codes_eval, ret_cycles, delivery_last, issue_start, stats
+    )
+
+
+def _stall_policy_walk(
+    machine,
+    stream: JobStream,
+    temperature_schedule: Dict[int, float],
+    avail: np.ndarray,
+    scaled: np.ndarray,
+    stats: Dict[str, int],
+):
+    """Sequential event walk for ``conflict_policy="stall"``.
+
+    One iteration per *evaluation* (never per cycle): due winner
+    deliveries swap the boundary registers, the evaluation converts
+    against the live table, and a blocked RET issue fast-forwards to the
+    next window boundary, charging the skipped cycles as conflict
+    stalls exactly as the scalar retry loop does.
+    """
+    config = machine.config
+    window = machine.window
+    waveguides = machine.waveguides
+    n = stream.n_evals
+    last_eval_of_job = stream.offsets[1:] - 1
+    job_of_eval = np.repeat(
+        np.arange(stream.n_jobs, dtype=np.int64), stream.labels_per_job
+    )
+    updates = sorted(
+        (int(stream.offsets[j]), temperature_schedule[j])
+        for j in temperature_schedule
+        if 0 <= j < stream.n_jobs
+    )
+    # Per-epoch scaled-energy -> code table: the boundary comparison
+    # depends only on the integer scaled energy, so one small gather
+    # table per epoch replaces the per-evaluation comparator walk.
+    code_lut_domain = int(scaled.max()) + 1
+    domain = np.arange(code_lut_domain, dtype=np.int64)
+    code_lut = _boundary_codes(machine._bounds, domain, config)
+    final_bounds = machine._bounds
+    shadow: Optional[float] = None
+    update_cursor = 0
+
+    deliveries = EventQueue()
+    network_last_use: Dict[Tuple[int, int], int] = {}
+    pop_cycles = np.empty(n, dtype=np.int64)
+    ret_cycles = np.empty(n, dtype=np.int64)
+    codes_eval = np.empty(n, dtype=np.int64)
+    delivery_last = np.empty(stream.n_jobs, dtype=np.int64)
+    conv_prev = int(_NEG)
+    ret_prev = int(_NEG)
+    is_first = np.zeros(n, dtype=bool)
+    is_first[stream.offsets[:-1]] = True
+
+    for i in range(n):
+        job = int(job_of_eval[i])
+        pop = max(conv_prev, int(avail[job])) if is_first[i] else conv_prev
+        convert = max(pop + 1, ret_prev)
+        # Drain deliveries due by the convert cycle: each swaps in the
+        # latest shadow armed strictly before it.
+        while deliveries.peek_cycle() is not None and deliveries.peek_cycle() <= convert:
+            (cycle, _), = deliveries.pop_due(deliveries.peek_cycle())
+            while update_cursor < len(updates) and updates[update_cursor][0] < cycle:
+                shadow = updates[update_cursor][1]
+                update_cursor += 1
+            if shadow is not None:
+                final_bounds = cached_boundary_table(shadow, config)
+                code_lut = _boundary_codes(final_bounds, domain, config)
+                shadow = None
+        code = int(code_lut[scaled[i]])
+        attempt = convert + 1
+        if code > 0:
+            conc = code.bit_length() - 1  # int(log2) of a power of two
+            while True:
+                window_index = attempt // window
+                key = (window_index % waveguides, conc)
+                last = network_last_use.get(key)
+                if last == window_index:
+                    stats["network_conflicts"] += 1
+                    stats["conflict_stalls"] += 1
+                    attempt += 1
+                    continue
+                if last is not None and window_index - last < waveguides:
+                    stats["reuse_violations"] += 1
+                network_last_use[key] = window_index
+                break
+        pop_cycles[i] = pop
+        ret_cycles[i] = attempt
+        codes_eval[i] = code
+        conv_prev, ret_prev = convert, attempt
+        if i == last_eval_of_job[job]:
+            delivered = attempt + (window - 1 if window > 1 else 1)
+            delivery_last[job] = delivered
+            deliveries.push(delivered, job)
+
+    machine._bounds = final_bounds
+    machine._shadow_bounds = None
+    return codes_eval, pop_cycles, ret_cycles, delivery_last

@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.base import select_first_to_fire
-from repro.core.convert import boundary_table, legacy_lut
+from repro.core.convert import cached_boundary_table, cached_legacy_lut
 from repro.core.params import RSUConfig
 from repro.core.pipeline import (
     legacy_temperature_stall,
@@ -74,10 +74,22 @@ class MachineResult:
 
 
 def jobs_from_energies(quantized: np.ndarray) -> List[VariableJob]:
-    """Wrap an ``(n_vars, M)`` quantized-energy matrix into jobs."""
+    """Wrap an ``(n_vars, M)`` quantized-energy matrix into jobs.
+
+    Rejects empty matrices and non-integer dtypes up front: both used
+    to slip through and only fail (confusingly) deep inside the
+    machines — an empty run loop that never terminates, or float
+    energies silently truncated by the LUT index.
+    """
     arr = np.asarray(quantized)
     if arr.ndim != 2:
         raise ConfigError(f"expected (n_vars, M), got shape {arr.shape}")
+    if arr.shape[0] < 1 or arr.shape[1] < 1:
+        raise ConfigError(f"jobs must be non-empty, got shape {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ConfigError(
+            f"quantized energies must have an integer dtype, got {arr.dtype}"
+        )
     return [VariableJob(i, arr[i]) for i in range(arr.shape[0])]
 
 
@@ -117,6 +129,7 @@ class LegacyMachine:
         rng: np.random.Generator,
         interface_bits: int = 8,
         trace: Optional[PipelineTrace] = None,
+        use_event_driven: bool = True,
     ):
         if config.scaling or config.cutoff:
             raise ConfigError("the legacy machine models the unscaled design")
@@ -126,12 +139,22 @@ class LegacyMachine:
         self._ttf_sampler = TTFSampler(config, rng)
         self._rng = rng
         self._interface_bits = interface_bits
-        self._lut = legacy_lut(temperature_grid, config)
+        self._lut = cached_legacy_lut(temperature_grid, config)
+        self._use_event_driven = use_event_driven
 
     def update_temperature(self, temperature_grid: float) -> int:
         """Rewrite the energy-to-intensity LUT; returns the stall cycles."""
-        self._lut = legacy_lut(temperature_grid, self.config)
+        self._lut = cached_legacy_lut(temperature_grid, self.config)
         return legacy_temperature_stall(self.config, self._interface_bits)
+
+    def _event_path_active(self) -> bool:
+        """Event-driven runs need no per-cycle observation (tracing) and
+        binned time (the float-time stage has no cycle semantics)."""
+        return (
+            self._use_event_driven
+            and self._trace is None
+            and not self.config.float_time
+        )
 
     def run(
         self,
@@ -143,6 +166,41 @@ class LegacyMachine:
         that job issues."""
         if not jobs:
             raise ConfigError("jobs must be non-empty")
+        if self._event_path_active():
+            from repro.uarch.events import run_legacy_machine, stream_from_jobs
+
+            return run_legacy_machine(
+                self, stream_from_jobs(jobs), temperature_schedule
+            )
+        return self._run_scalar(jobs, temperature_schedule)
+
+    def run_matrix(
+        self,
+        quantized: np.ndarray,
+        temperature_schedule: Optional[Dict[int, float]] = None,
+    ) -> MachineResult:
+        """Run an ``(n_vars, M)`` quantized-energy matrix directly.
+
+        The machine-in-the-loop hot path: the event engine consumes the
+        matrix as one flat stream, skipping per-variable
+        :class:`VariableJob` construction entirely.  Falls back to
+        :func:`jobs_from_energies` + the scalar oracle when the event
+        path is unavailable.  Identical results either way.
+        """
+        if self._event_path_active():
+            from repro.uarch.events import run_legacy_machine, stream_from_matrix
+
+            return run_legacy_machine(
+                self, stream_from_matrix(quantized), temperature_schedule
+            )
+        return self._run_scalar(jobs_from_energies(quantized), temperature_schedule)
+
+    def _run_scalar(
+        self,
+        jobs: Sequence[VariableJob],
+        temperature_schedule: Optional[Dict[int, float]] = None,
+    ) -> MachineResult:
+        """Cycle-exact oracle: step every latch, every cycle."""
         temperature_schedule = temperature_schedule or {}
         selection = _SelectionTracker(self.config.tie_policy, self._rng)
         issue_queue = deque()
@@ -238,6 +296,10 @@ class LegacyMachine:
         return result
 
 
+#: Paper-facing name for the Fig. 2b machine.
+PreviousDesignMachine = LegacyMachine
+
+
 class NewMachine:
     """Structural model of the new RSU-G design (Fig. 10 / Fig. 11)."""
 
@@ -248,6 +310,7 @@ class NewMachine:
         rng: np.random.Generator,
         conflict_policy: str = "count",
         trace: Optional[PipelineTrace] = None,
+        use_event_driven: bool = True,
     ):
         self._trace = trace
         if not (config.scaling and config.cutoff and config.pow2_lambda):
@@ -260,14 +323,24 @@ class NewMachine:
         self.concentrations = config.unique_lambdas
         self._ttf_sampler = TTFSampler(config, rng)
         self._rng = rng
-        self._bounds = boundary_table(temperature_grid, config)
+        self._bounds = cached_boundary_table(temperature_grid, config)
         self._shadow_bounds = None
         self._conflict_policy = conflict_policy
+        self._use_event_driven = use_event_driven
 
     def update_temperature(self, temperature_grid: float) -> int:
         """Stage new boundaries in the shadow registers; zero stalls."""
-        self._shadow_bounds = boundary_table(temperature_grid, self.config)
+        self._shadow_bounds = cached_boundary_table(temperature_grid, self.config)
         return 0
+
+    def _event_path_active(self) -> bool:
+        """Event-driven runs need no per-cycle observation (tracing) and
+        binned time (the float-time stage has no cycle semantics)."""
+        return (
+            self._use_event_driven
+            and self._trace is None
+            and not self.config.float_time
+        )
 
     def _convert(self, scaled_energy: int) -> int:
         """Comparison-based energy-to-lambda conversion."""
@@ -286,6 +359,33 @@ class NewMachine:
         """Execute the jobs through the decoupled pipeline."""
         if not jobs:
             raise ConfigError("jobs must be non-empty")
+        if self._event_path_active():
+            from repro.uarch.events import run_new_machine, stream_from_jobs
+
+            return run_new_machine(self, stream_from_jobs(jobs), temperature_schedule)
+        return self._run_scalar(jobs, temperature_schedule)
+
+    def run_matrix(
+        self,
+        quantized: np.ndarray,
+        temperature_schedule: Optional[Dict[int, float]] = None,
+    ) -> MachineResult:
+        """Run an ``(n_vars, M)`` quantized-energy matrix directly (see
+        :meth:`LegacyMachine.run_matrix`)."""
+        if self._event_path_active():
+            from repro.uarch.events import run_new_machine, stream_from_matrix
+
+            return run_new_machine(
+                self, stream_from_matrix(quantized), temperature_schedule
+            )
+        return self._run_scalar(jobs_from_energies(quantized), temperature_schedule)
+
+    def _run_scalar(
+        self,
+        jobs: Sequence[VariableJob],
+        temperature_schedule: Optional[Dict[int, float]] = None,
+    ) -> MachineResult:
+        """Cycle-exact oracle: step every latch, every cycle."""
         temperature_schedule = temperature_schedule or {}
         selection = _SelectionTracker(self.config.tie_policy, self._rng)
         for job in jobs:
@@ -432,3 +532,7 @@ class NewMachine:
         result = MachineResult(winners, winner_cycle, cycle, stats)
         result.stats["issue_cycles"] = issue_cycle_of  # type: ignore[assignment]
         return result
+
+
+#: Paper-facing name for the Fig. 10/11 machine.
+NewDesignMachine = NewMachine

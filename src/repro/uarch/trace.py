@@ -9,8 +9,9 @@ documentation, debugging, and the ``examples/uarch_trace.py`` demo.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.util.errors import ConfigError
 
@@ -39,17 +40,34 @@ class TraceEvent:
 
 @dataclass
 class PipelineTrace:
-    """Collects events; bounded to keep long runs cheap."""
+    """Collects events in a bounded ring buffer.
+
+    The buffer holds the **most recent** ``max_events`` events — on a
+    long run the interesting end-of-run behaviour survives while memory
+    stays O(``max_events``) no matter how many cycles execute.
+    ``dropped`` counts the overwritten (oldest) events, so a consumer
+    can tell a complete trace from a windowed one.  Tracing is opt-in:
+    machines run untraced (``trace=None``) unless one is passed, and an
+    untraced run touches no trace storage at all.
+    """
 
     max_events: int = 100_000
-    events: List[TraceEvent] = field(default_factory=list)
+    events: Deque[TraceEvent] = field(default_factory=deque)
+    dropped: int = 0
+
+    def __post_init__(self):
+        if self.max_events < 1:
+            raise ConfigError("max_events must be >= 1")
+        initial: Iterable[TraceEvent] = self.events
+        self.events = deque(initial, maxlen=self.max_events)
 
     def record(self, cycle: int, stage: str, variable: int, label: int) -> None:
-        """Append one event (silently drops beyond ``max_events``)."""
+        """Append one event (overwrites the oldest beyond ``max_events``)."""
         if stage not in STAGE_LETTERS:
             raise ConfigError(f"unknown stage {stage!r}")
-        if len(self.events) < self.max_events:
-            self.events.append(TraceEvent(cycle, stage, variable, label))
+        if len(self.events) == self.max_events:
+            self.dropped += 1
+        self.events.append(TraceEvent(cycle, stage, variable, label))
 
     def by_evaluation(self) -> Dict[Tuple[int, int], List[TraceEvent]]:
         """Events grouped per (variable, label), cycle-ordered."""

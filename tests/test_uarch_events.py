@@ -1,0 +1,340 @@
+"""Cycle-identity proof of the event-driven engine vs the scalar oracles.
+
+The contract of :mod:`repro.uarch.events` is *exactness*: the batched
+event path must return the same :class:`MachineResult` — winners, winner
+cycles, total cycles, stats — as the per-cycle scalar machine, and leave
+the shared RNG in the identical final state, across designs, conflict
+policies, window lengths, label counts and temperature schedules.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+import repro.core.convert as convert
+from repro.core import legacy_design_config, new_design_config
+from repro.core.pipeline import simulate, simulate_measured
+from repro.uarch import (
+    CycleCountingBackend,
+    EventQueue,
+    LegacyMachine,
+    MachineBackend,
+    NewDesignMachine,
+    NewMachine,
+    PipelineTrace,
+    PreviousDesignMachine,
+    VariableJob,
+    jobs_from_energies,
+)
+from repro.util import ConfigError
+
+
+def build_pair(design, policy, time_bits, tie_policy, seed):
+    """Scalar-oracle and event-driven machines over lockstep RNGs."""
+    if design == "legacy":
+        config = legacy_design_config(time_bits=time_bits, tie_policy=tie_policy)
+        make = lambda rng, event: LegacyMachine(  # noqa: E731
+            config, 40.0, rng, use_event_driven=event
+        )
+    else:
+        config = new_design_config(time_bits=time_bits, tie_policy=tie_policy)
+        make = lambda rng, event: NewMachine(  # noqa: E731
+            config, 40.0, rng, conflict_policy=policy, use_event_driven=event
+        )
+    rng_scalar = np.random.default_rng(seed)
+    rng_event = np.random.default_rng(seed)
+    return make(rng_scalar, False), make(rng_event, True), rng_scalar, rng_event
+
+
+def assert_identical(result_scalar, result_event):
+    assert result_event.winners == result_scalar.winners
+    assert result_event.winner_cycle == result_scalar.winner_cycle
+    assert result_event.total_cycles == result_scalar.total_cycles
+    assert result_event.stats == result_scalar.stats
+
+
+class TestCycleIdentityMatrix:
+    @pytest.mark.parametrize(
+        "design,policy",
+        [("legacy", None), ("new", "count"), ("new", "stall")],
+    )
+    @pytest.mark.parametrize("time_bits", [3, 5, 8])
+    @pytest.mark.parametrize("labels", [2, 16])
+    @pytest.mark.parametrize("with_updates", [False, True])
+    def test_matrix(self, design, policy, time_bits, labels, with_updates):
+        schedule = {0: 20.0, 2: 60.0, 5: 30.0} if with_updates else {}
+        jobs = jobs_from_energies(
+            np.random.default_rng(17).integers(0, 256, (6, labels))
+        )
+        scalar, event, rng_scalar, rng_event = build_pair(
+            design, policy, time_bits, "random", seed=11
+        )
+        assert_identical(
+            scalar.run(jobs, temperature_schedule=schedule),
+            event.run(jobs, temperature_schedule=schedule),
+        )
+        # The engines consumed the identical entropy stream: the two
+        # generators are in the same state bit for bit.
+        assert rng_scalar.bit_generator.state == rng_event.bit_generator.state
+
+    @pytest.mark.parametrize("tie_policy", ["first", "last", "random"])
+    def test_tie_policies(self, tie_policy):
+        # Equal energies force ties in every variable.
+        jobs = jobs_from_energies(np.full((5, 4), 7, dtype=np.int64))
+        scalar, event, rng_scalar, rng_event = build_pair(
+            "new", "count", 5, tie_policy, seed=3
+        )
+        assert_identical(scalar.run(jobs), event.run(jobs))
+        assert rng_scalar.bit_generator.state == rng_event.bit_generator.state
+
+    @pytest.mark.parametrize(
+        "design,policy",
+        [("legacy", None), ("new", "count"), ("new", "stall")],
+    )
+    def test_mixed_label_counts_and_single_job(self, design, policy):
+        rng = np.random.default_rng(7)
+        mixed = [
+            VariableJob(i, rng.integers(0, 256, m))
+            for i, m in enumerate([3, 1, 16, 2, 5])
+        ]
+        single = [VariableJob(0, np.array([4, 200]))]
+        for jobs in (mixed, single):
+            scalar, event, rng_scalar, rng_event = build_pair(
+                design, policy, 5, "random", seed=5
+            )
+            assert_identical(
+                scalar.run(jobs, temperature_schedule={1: 25.0}),
+                event.run(jobs, temperature_schedule={1: 25.0}),
+            )
+            assert rng_scalar.bit_generator.state == rng_event.bit_generator.state
+
+    def test_end_state_tables_match(self):
+        """After a run with updates, both paths leave the machine with
+        the same live conversion tables (the next run's starting state)."""
+        jobs = jobs_from_energies(
+            np.random.default_rng(0).integers(0, 256, (4, 3))
+        )
+        scalar, event, _, _ = build_pair("legacy", None, 5, "random", seed=1)
+        scalar.run(jobs, temperature_schedule={2: 20.0})
+        event.run(jobs, temperature_schedule={2: 20.0})
+        assert np.array_equal(scalar._lut, event._lut)
+
+        scalar, event, _, _ = build_pair("new", "count", 5, "random", seed=1)
+        scalar.run(jobs, temperature_schedule={2: 20.0})
+        event.run(jobs, temperature_schedule={2: 20.0})
+        assert np.array_equal(scalar._bounds, event._bounds)
+        assert scalar._shadow_bounds is None and event._shadow_bounds is None
+
+    def test_run_matrix_equals_run(self):
+        quantized = np.random.default_rng(2).integers(0, 256, (8, 6))
+        a, b = np.random.default_rng(9), np.random.default_rng(9)
+        config = new_design_config()
+        via_jobs = NewMachine(config, 40.0, a).run(jobs_from_energies(quantized))
+        via_matrix = NewMachine(config, 40.0, b).run_matrix(quantized)
+        assert_identical(via_jobs, via_matrix)
+        assert a.bit_generator.state == b.bit_generator.state
+
+    def test_paper_facing_aliases(self):
+        assert PreviousDesignMachine is LegacyMachine
+        assert NewDesignMachine is NewMachine
+
+
+class TestMachineInTheLoop:
+    def test_end_to_end_solve_byte_identical(self):
+        """A full machine-in-the-loop stereo solve produces the same
+        labels and the same cycle counts on both paths."""
+        from repro.apps.stereo import StereoParams, build_stereo_mrf
+        from repro.data import load_stereo
+        from repro.mrf import MCMCSolver, geometric_for_span
+
+        def solve(use_event_driven):
+            dataset = load_stereo("poster", scale=0.10)
+            params = StereoParams(iterations=12)
+            model = build_stereo_mrf(dataset, params)
+            backend = CycleCountingBackend(
+                new_design_config(),
+                model.max_energy(),
+                np.random.default_rng(5),
+                use_event_driven=use_event_driven,
+            )
+            schedule = geometric_for_span(
+                params.t0, params.t_final, params.iterations
+            )
+            solver = MCMCSolver(
+                model, backend, schedule, seed=3, track_energy=False
+            )
+            labels = solver.run(params.iterations).labels
+            return labels, backend.total_cycles, backend.batch_cycles
+
+        labels_event, cycles_event, batches_event = solve(True)
+        labels_scalar, cycles_scalar, batches_scalar = solve(False)
+        assert np.array_equal(labels_event, labels_scalar)
+        assert cycles_event == cycles_scalar
+        assert batches_event == batches_scalar
+
+    def test_legacy_backend_identical(self):
+        energies = np.random.default_rng(1).random((10, 4))
+        outs = []
+        for use_event in (True, False):
+            backend = MachineBackend(
+                legacy_design_config(),
+                1.0,
+                np.random.default_rng(0),
+                use_event_driven=use_event,
+            )
+            outs.append(
+                (backend.sample(energies, 0.1), backend.total_cycles)
+            )
+        assert np.array_equal(outs[0][0], outs[1][0])
+        assert outs[0][1] == outs[1][1]
+
+
+class TestTableHoisting:
+    def test_boundary_table_built_once_across_runs(self, monkeypatch):
+        calls = {"n": 0}
+        real = convert.boundary_table
+
+        def counting(temperature, config):
+            calls["n"] += 1
+            return real(temperature, config)
+
+        monkeypatch.setattr(convert, "boundary_table", counting)
+        convert._cached_boundary_table.cache_clear()
+        try:
+            config = new_design_config()
+            machine = NewMachine(config, 40.0, np.random.default_rng(0))
+            quantized = np.random.default_rng(1).integers(0, 256, (5, 4))
+            machine.run_matrix(quantized)
+            machine.run_matrix(quantized)
+            machine.run_matrix(quantized)
+            assert calls["n"] == 1
+            # A second machine at the same design point reuses the table.
+            NewMachine(config, 40.0, np.random.default_rng(2))
+            assert calls["n"] == 1
+        finally:
+            convert._cached_boundary_table.cache_clear()
+
+    def test_legacy_lut_built_once_per_temperature(self, monkeypatch):
+        calls = {"n": 0}
+        real = convert.legacy_lut
+
+        def counting(temperature, config):
+            calls["n"] += 1
+            return real(temperature, config)
+
+        monkeypatch.setattr(convert, "legacy_lut", counting)
+        convert._cached_legacy_lut.cache_clear()
+        try:
+            config = legacy_design_config()
+            machine = LegacyMachine(config, 40.0, np.random.default_rng(0))
+            quantized = np.random.default_rng(1).integers(0, 256, (5, 4))
+            machine.run_matrix(quantized)
+            machine.run_matrix(quantized)
+            assert calls["n"] == 1
+            machine.update_temperature(20.0)  # new temperature: one build
+            assert calls["n"] == 2
+            machine.update_temperature(40.0)  # cached from the ctor
+            assert calls["n"] == 2
+        finally:
+            convert._cached_legacy_lut.cache_clear()
+
+    def test_cached_tables_are_read_only(self):
+        convert._cached_boundary_table.cache_clear()
+        table = convert.cached_boundary_table(40.0, new_design_config())
+        with pytest.raises(ValueError):
+            table[0] = 0.0
+
+
+class TestTraceRingBuffer:
+    def test_keeps_most_recent_events(self):
+        trace = PipelineTrace(max_events=5)
+        for cycle in range(20):
+            trace.record(cycle, "issue", 0, 0)
+        assert len(trace.events) == 5
+        assert trace.dropped == 15
+        assert [e.cycle for e in trace.events] == [15, 16, 17, 18, 19]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigError):
+            PipelineTrace(max_events=0)
+
+    def test_untraced_run_allocates_no_trace_memory(self):
+        """Tracing is opt-in: an untraced run touches no trace storage
+        (O(1) — in fact zero — trace allocations)."""
+        quantized = np.random.default_rng(3).integers(0, 256, (20, 8))
+        config = new_design_config()
+        for use_event in (True, False):
+            machine = NewMachine(
+                config, 40.0, np.random.default_rng(0), use_event_driven=use_event
+            )
+            machine.run_matrix(quantized)  # warm caches outside the snapshot
+            tracemalloc.start()
+            try:
+                machine.run_matrix(quantized)
+                snapshot = tracemalloc.take_snapshot()
+            finally:
+                tracemalloc.stop()
+            trace_bytes = sum(
+                stat.size
+                for stat in snapshot.filter_traces(
+                    [tracemalloc.Filter(True, "*repro/uarch/trace.py")]
+                ).statistics("filename")
+            )
+            assert trace_bytes == 0
+
+
+class TestJobsFromEnergiesValidation:
+    def test_accepts_integer_matrix(self):
+        jobs = jobs_from_energies(np.arange(6, dtype=np.int64).reshape(2, 3))
+        assert len(jobs) == 2
+
+    def test_rejects_empty_job_list(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            jobs_from_energies(np.empty((0, 4), dtype=np.int64))
+
+    def test_rejects_zero_label_jobs(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            jobs_from_energies(np.empty((4, 0), dtype=np.int64))
+
+    def test_rejects_float_dtype(self):
+        with pytest.raises(ConfigError, match="integer dtype"):
+            jobs_from_energies(np.ones((2, 3)))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ConfigError):
+            jobs_from_energies(np.arange(4, dtype=np.int64))
+
+
+class TestEventQueue:
+    def test_orders_by_cycle_then_insertion(self):
+        queue = EventQueue()
+        queue.push(5, "late")
+        queue.push(1, "a")
+        queue.push(1, "b")
+        queue.push(3, "mid")
+        assert queue.peek_cycle() == 1
+        assert queue.pop_due(3) == [(1, "a"), (1, "b"), (3, "mid")]
+        assert len(queue) == 1
+        assert queue.pop_due(10) == [(5, "late")]
+        assert queue.peek_cycle() is None
+
+
+class TestSimulateMeasured:
+    @pytest.mark.parametrize("time_bits", [3, 5, 8])
+    @pytest.mark.parametrize("labels", [2, 10])
+    def test_new_design_matches_closed_form(self, time_bits, labels):
+        config = new_design_config(time_bits=time_bits)
+        closed = simulate("new", labels, 12, 5, config)
+        measured = simulate_measured("new", labels, 12, 5, config)
+        assert measured.total_cycles == closed.total_cycles
+
+    @pytest.mark.parametrize("time_bits", [3, 5, 8])
+    def test_legacy_adds_update_issue_slots(self, time_bits):
+        """The structural machine spends one issue slot per iteration on
+        the update command; otherwise it matches the closed form."""
+        config = legacy_design_config(time_bits=time_bits)
+        iterations = 4
+        closed = simulate("legacy", 6, 10, iterations, config)
+        measured = simulate_measured("legacy", 6, 10, iterations, config)
+        assert measured.total_cycles == closed.total_cycles + iterations
