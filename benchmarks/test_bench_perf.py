@@ -32,6 +32,10 @@ Three lanes:
   ``rng_kind=lfsr`` stereo solve on the buffered vectorized backend vs
   the scalar one.  Word streams and solve labels are asserted
   byte-identical before any time is recorded.
+* ``telemetry`` — the fused stereo solve metered vs unmetered: asserts
+  byte-identity, exporter round-trips, and a deterministic bound on the
+  disabled-path overhead (op count × measured ``obs.active()`` probe
+  cost) of under 2% of the solve.
 * ``uarch_sim`` — a machine-in-the-loop stereo solve (every Gibbs batch
   through the structural ``NewMachine``): per-cycle scalar oracle vs
   the event-driven batched engine (``use_event_driven``).  Labels and
@@ -51,9 +55,11 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import sys
 import tempfile
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
@@ -426,6 +432,101 @@ def bench_uarch_sim(profile_name):
     }
 
 
+def bench_telemetry(profile):
+    """Telemetry on vs off around the fused stereo solve.
+
+    Asserts the metered solve is byte-identical to the unmetered one,
+    that the exporters round-trip, and that the *disabled-path* cost is
+    bounded: every metering site costs one ``obs.active()`` probe when
+    telemetry is off, so the enabled run's op count times the measured
+    per-probe cost bounds the disabled overhead deterministically
+    (no wall-clock flakiness from comparing two noisy solve timings).
+    """
+    from repro.obs import telemetry as obs
+    from repro.obs.exporters import (
+        parse_jsonl,
+        telemetry_from_events,
+        to_jsonl,
+        to_prometheus,
+    )
+
+    dataset = load_stereo("poster", scale=profile.stereo_scale)
+    params = StereoParams(iterations=profile.stereo_iterations)
+    model = build_stereo_mrf(dataset, params)
+    schedule = geometric_for_span(params.t0, params.t_final, params.iterations)
+
+    def solve():
+        sampler = make_backend("rsu", model.max_energy(), seed=3,
+                               config=new_design_config())
+        solver = MCMCSolver(model, sampler, schedule, seed=3,
+                            track_energy=False)
+        return solver.run(params.iterations)
+
+    disabled = solve()
+    with obs.use_telemetry() as telemetry:
+        enabled = solve()
+    assert np.array_equal(disabled.labels, enabled.labels), (
+        "telemetry perturbed the solve"
+    )
+    assert telemetry.value("solver.sweeps") == params.iterations
+    assert telemetry.value("entropy.uniforms") > 0
+
+    reloaded = telemetry_from_events(parse_jsonl(to_jsonl(telemetry)))
+    assert reloaded.value("solver.flips") == telemetry.value("solver.flips")
+    assert to_prometheus(telemetry).startswith("# TYPE")
+
+    disabled_s = min(_timed(solve)[0] for _ in range(2))
+
+    def timed_enabled():
+        with obs.use_telemetry():
+            return solve()
+
+    enabled_s = min(_timed(timed_enabled)[0] for _ in range(2))
+
+    # The disabled path of every metering site is one module-global read
+    # plus an ``is None`` test; measure that probe and scale it by the
+    # enabled run's op count (an upper bound on probe count per run).
+    probes = 200_000
+    started = time.perf_counter()
+    for _ in range(probes):
+        obs.active()
+    probe_s = (time.perf_counter() - started) / probes
+    disabled_overhead_fraction = telemetry.ops * probe_s / disabled_s
+    assert disabled_overhead_fraction < 0.02, (
+        f"disabled-telemetry overhead bound violated: "
+        f"{disabled_overhead_fraction:.4%} of the solve"
+    )
+
+    return {
+        "solve": f"stereo poster scale={profile.stereo_scale} "
+                 f"iters={profile.stereo_iterations}",
+        "disabled_s": round(disabled_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "enabled_overhead_fraction": round(enabled_s / disabled_s - 1.0, 4),
+        "telemetry_ops": telemetry.ops,
+        "probe_ns": round(probe_s * 1e9, 2),
+        "disabled_overhead_fraction_bound": round(disabled_overhead_fraction, 6),
+        "results_byte_identical": True,
+    }
+
+
+def _run_metadata() -> dict:
+    """Provenance stamp for ``BENCH_perf.json``: who/where/when/what."""
+    try:
+        git_sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+            timeout=10, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        git_sha = "unknown"
+    return {
+        "git_sha": git_sha or "unknown",
+        "hostname": platform.node() or "unknown",
+        "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
 def run_perf_baseline(profile_name: str = None) -> dict:
     """Run every lane and write ``BENCH_perf.json``; returns the payload."""
     profile_name = profile_name or os.environ.get("BENCH_PERF_PROFILE", "small")
@@ -436,6 +537,7 @@ def run_perf_baseline(profile_name: str = None) -> dict:
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "parallel_jobs": PARALLEL_JOBS,
+        **_run_metadata(),
         "note": (
             "speedup_jobs4_vs_jobs1 compares the sequential uncached baseline "
             "against the best engine run (cold parallel or warm cache); on a "
@@ -450,6 +552,7 @@ def run_perf_baseline(profile_name: str = None) -> dict:
         "batched_chains": bench_batched_chains(profile),
         "entropy_backends": bench_entropy_backends(profile_name),
         "uarch_sim": bench_uarch_sim(profile_name),
+        "telemetry": bench_telemetry(profile),
         "lambda_lut": bench_lambda_lut(profile),
         "registry_engine": bench_registry_engine(profile),
         "sweep_engine": bench_sweep_engine(profile),
@@ -476,6 +579,11 @@ def test_perf_baseline():
     assert payload["entropy_backends"]["speedup_solve_vectorized"] > 0
     assert payload["uarch_sim"]["results_cycle_identical"]
     assert payload["uarch_sim"]["speedup_event_vs_scalar"] >= 5.0
+    assert payload["telemetry"]["results_byte_identical"]
+    assert payload["telemetry"]["disabled_overhead_fraction_bound"] < 0.02
+    assert payload["git_sha"]
+    assert payload["hostname"]
+    assert payload["generated_utc"].endswith("+00:00")
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from repro.mrf.annealing import Schedule
 from repro.mrf.batch import EnsembleSolver
 from repro.mrf.model import GridMRF
 from repro.mrf.solver import MCMCSolver, SolveResult
+from repro.obs import telemetry as obs
 from repro.rng.lfsr import LFSR
 from repro.rng.mt19937 import MT19937
 from repro.rng.streams import (
@@ -105,6 +106,7 @@ def run_chain_solver(
     track_energy: bool = False,
     chains: int = 1,
     config: Optional[RSUConfig] = None,
+    telemetry: Optional["obs.Telemetry"] = None,
 ) -> SolveResult:
     """Run the MCMC loop for an application driver, optionally batched.
 
@@ -115,9 +117,27 @@ def run_chain_solver(
     W)`` workspace (chain ``k`` seeds both its backend and its solver
     with ``seed + k``, so chain 0 reproduces the single-chain run
     exactly) and returns the lowest-energy chain's result.
+
+    ``telemetry`` scopes the given :class:`~repro.obs.Telemetry` around
+    the solve (via :func:`repro.obs.use_telemetry`), so solver, sampler,
+    and entropy instruments record into it for exactly this run.
+    Telemetry never touches an RNG stream: results are byte-identical
+    with it on or off.
     """
     if chains < 1:
         raise ConfigError(f"chains must be >= 1, got {chains}")
+    if telemetry is not None:
+        with obs.use_telemetry(telemetry):
+            return run_chain_solver(
+                model,
+                backend,
+                schedule,
+                iterations,
+                seed=seed,
+                track_energy=track_energy,
+                chains=chains,
+                config=config,
+            )
     full_scale = model.max_energy()
     if chains == 1:
         sampler = make_backend(backend, full_scale, seed=seed, config=config)

@@ -74,6 +74,7 @@ def solve_denoise(
     seed: int = 0,
     track_energy: bool = False,
     chains: int = 1,
+    telemetry=None,
 ) -> DenoiseResult:
     """Run the full restoration pipeline (``chains > 1``: best-of-K)."""
     model = build_denoise_mrf(dataset, params)
@@ -81,6 +82,7 @@ def solve_denoise(
     result = run_chain_solver(
         model, backend, schedule, params.iterations,
         seed=seed, track_energy=track_energy, chains=chains, config=rsu_config,
+        telemetry=telemetry,
     )
     restored = level_values(dataset.n_levels)[result.labels]
     clean = dataset.clean_image

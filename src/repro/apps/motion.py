@@ -68,6 +68,7 @@ def solve_motion(
     seed: int = 0,
     track_energy: bool = False,
     chains: int = 1,
+    telemetry=None,
 ) -> MotionResult:
     """Run the full motion-estimation pipeline (``chains > 1``: best-of-K)."""
     model = build_motion_mrf(dataset, params)
@@ -75,6 +76,7 @@ def solve_motion(
     result = run_chain_solver(
         model, backend, schedule, params.iterations,
         seed=seed, track_energy=track_energy, chains=chains, config=rsu_config,
+        telemetry=telemetry,
     )
     vectors = flow_label_vectors(dataset.window_radius)
     flow = flow_from_labels(result.labels, vectors)

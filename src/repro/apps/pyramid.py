@@ -24,6 +24,7 @@ from repro.metrics.motion_metrics import endpoint_error
 from repro.mrf.annealing import geometric_for_span
 from repro.mrf.model import GridMRF
 from repro.mrf.solver import MCMCSolver
+from repro.obs.telemetry import use_telemetry
 from repro.util.errors import ConfigError
 
 
@@ -106,15 +107,28 @@ def solve_motion_pyramid(
     params: MotionParams = MotionParams(),
     rsu_config=None,
     seed: int = 0,
+    telemetry=None,
 ) -> PyramidResult:
     """Coarse-to-fine motion estimation with a per-level MCMC solve.
 
     The effective search radius is ``radius * 2**(levels-1)``; the
     dataset's ground-truth flow may exceed the per-level window as long
-    as it fits the effective one.
+    as it fits the effective one.  ``telemetry`` meters every level's
+    solve into the given :class:`repro.obs.Telemetry`.
     """
     if levels < 1:
         raise ConfigError(f"levels must be >= 1, got {levels}")
+    if telemetry is not None:
+        with use_telemetry(telemetry):
+            return solve_motion_pyramid(
+                dataset,
+                backend,
+                levels=levels,
+                radius=radius,
+                params=params,
+                rsu_config=rsu_config,
+                seed=seed,
+            )
     effective = radius * (1 << (levels - 1))
     if np.abs(dataset.gt_flow).max() > effective:
         raise ConfigError(

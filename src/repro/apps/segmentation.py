@@ -73,6 +73,7 @@ def solve_segmentation(
     seed: int = 0,
     track_energy: bool = False,
     chains: int = 1,
+    telemetry=None,
 ) -> SegmentationResult:
     """Run the full segmentation pipeline (``chains > 1``: best-of-K)."""
     model = build_segmentation_mrf(dataset, params)
@@ -80,6 +81,7 @@ def solve_segmentation(
     result = run_chain_solver(
         model, backend, schedule, params.iterations,
         seed=seed, track_energy=track_energy, chains=chains, config=rsu_config,
+        telemetry=telemetry,
     )
     return SegmentationResult(
         dataset=dataset.name,

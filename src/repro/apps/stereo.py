@@ -72,17 +72,20 @@ def solve_stereo(
     seed: int = 0,
     track_energy: bool = False,
     chains: int = 1,
+    telemetry=None,
 ) -> StereoResult:
     """Run the full stereo pipeline with the named sampler backend.
 
     ``chains > 1`` runs a best-of-K multi-seed restart ensemble through
     the batched chain workspace and keeps the lowest-energy chain.
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) meters the solve.
     """
     model = build_stereo_mrf(dataset, params)
     schedule = geometric_for_span(params.t0, params.t_final, params.iterations)
     result = run_chain_solver(
         model, backend, schedule, params.iterations,
         seed=seed, track_energy=track_energy, chains=chains, config=rsu_config,
+        telemetry=telemetry,
     )
     disparity = result.labels
     return StereoResult(

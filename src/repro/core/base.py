@@ -12,8 +12,24 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.obs import telemetry as obs
 from repro.util.errors import DataError
 from repro.util.validation import check_positive
+
+
+def record_sampler_batch(n_samples: int) -> None:
+    """Telemetry hook: one sampler dispatch drawing ``n_samples`` labels.
+
+    Called once per batch (per colour class per sweep), never per site,
+    so the disabled path costs one ``active()`` read per dispatch.
+    Every fused ``sample_into``/``sample_chains_into`` override calls
+    this itself; delegating fallbacks must not, or the base
+    :meth:`SamplerBackend.sample` would double count.
+    """
+    tel = obs.active()
+    if tel is not None:
+        tel.inc("sampler.batches")
+        tel.inc("sampler.samples", n_samples)
 
 
 class SampleScratch:
@@ -83,6 +99,7 @@ class SamplerBackend(ABC):
         if arr.ndim != 2 or arr.shape[1] < 1 or arr.shape[0] < 1:
             raise DataError(f"energies must be (n_sites, n_labels), got shape {arr.shape}")
         check_positive("temperature", temperature)
+        record_sampler_batch(arr.shape[0])
         labels = self._sample_batch(arr, float(temperature))
         return np.asarray(labels, dtype=np.int64)
 

@@ -23,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.base import SamplerBackend, SampleScratch
+from repro.core.base import SamplerBackend, SampleScratch, record_sampler_batch
 from repro.core.energy import EnergyStage
 from repro.rng.streams import BitSource
 from repro.util.errors import ConfigError, DataError
@@ -110,6 +110,7 @@ class CDFSampler(SamplerBackend):
                 f"energies must be (n_sites, n_labels), got shape {energies.shape}"
             )
         check_positive("temperature", temperature)
+        record_sampler_batch(energies.shape[0])
         shape = energies.shape
         work = scratch.buf("cdf_quantize_work", shape, np.float64)
         quantized = scratch.buf("cdf_quantized", shape, np.int64)

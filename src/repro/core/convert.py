@@ -36,6 +36,7 @@ from typing import List
 import numpy as np
 
 from repro.core.params import RSUConfig
+from repro.obs import telemetry as obs
 from repro.util.errors import ConfigError
 from repro.util.quantize import nearest_pow2, unsigned_max
 
@@ -133,7 +134,15 @@ def conversion_lut(temperature: float, config: RSUConfig) -> np.ndarray:
     """
     if temperature <= 0:
         raise ConfigError(f"temperature must be positive, got {temperature}")
-    return _conversion_lut(float(temperature), config)
+    tel = obs.active()
+    if tel is None:
+        return _conversion_lut(float(temperature), config)
+    before = _conversion_lut.cache_info()
+    table = _conversion_lut(float(temperature), config)
+    after = _conversion_lut.cache_info()
+    tel.inc("convert.lut_hits", after.hits - before.hits)
+    tel.inc("convert.lut_misses", after.misses - before.misses)
+    return table
 
 
 def lambda_codes_lut(

@@ -24,6 +24,7 @@ from repro.core import convert
 from repro.core.base import (
     SamplerBackend,
     SampleScratch,
+    record_sampler_batch,
     select_first_to_fire,
     select_first_to_fire_chains_into,
     select_first_to_fire_into,
@@ -153,6 +154,7 @@ class RSUGSampler(SamplerBackend):
                 f"energies must be (n_sites, n_labels), got shape {energies.shape}"
             )
         check_positive("temperature", temperature)
+        record_sampler_batch(energies.shape[0])
         temperature = float(temperature)
         t_grid, table = self._stage_constants(temperature)
         shape = energies.shape
@@ -239,6 +241,7 @@ class RSUGSampler(SamplerBackend):
             )
         shape = energies.shape
         flat_rows = shape[0] * shape[1]
+        record_sampler_batch(flat_rows)
         work = scratch.buf("rsu_quantize_work", shape, np.float64)
         quantized = scratch.buf("rsu_quantized", shape, np.int64)
         first.energy_stage.quantize_into(energies, quantized, work)

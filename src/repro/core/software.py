@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import SamplerBackend, SampleScratch
+from repro.core.base import SamplerBackend, SampleScratch, record_sampler_batch
+from repro.obs import telemetry as obs
 from repro.rng.streams import generator_state, set_generator_state
 from repro.util.errors import DataError
 from repro.util.validation import check_positive
@@ -55,6 +56,10 @@ class SoftwareSampler(SamplerBackend):
                 f"energies must be (n_sites, n_labels), got shape {energies.shape}"
             )
         check_positive("temperature", temperature)
+        record_sampler_batch(energies.shape[0])
+        tel = obs.active()
+        if tel is not None:
+            tel.inc("entropy.uniforms", energies.size)
         gumbel = scratch.buf("gumbel", energies.shape, np.float64)
         self._rng.random(out=gumbel)
         np.negative(gumbel, out=gumbel)
@@ -93,6 +98,10 @@ class SoftwareSampler(SamplerBackend):
                 f"energies must be (chains, n_sites, n_labels), got shape {energies.shape}"
             )
         chains = energies.shape[0]
+        record_sampler_batch(chains * energies.shape[1])
+        tel = obs.active()
+        if tel is not None:
+            tel.inc("entropy.uniforms", energies.size)
         temps = scratch.buf("chain_temps", (chains, 1, 1), np.float64)
         for index, temperature in enumerate(temperatures):
             check_positive("temperature", temperature)
@@ -138,6 +147,7 @@ class GreedySampler(SamplerBackend):
                 f"energies must be (n_sites, n_labels), got shape {energies.shape}"
             )
         check_positive("temperature", temperature)
+        record_sampler_batch(energies.shape[0])
         np.argmin(energies, axis=1, out=out)
         return out
 
@@ -157,5 +167,6 @@ class GreedySampler(SamplerBackend):
             )
         for temperature in temperatures:
             check_positive("temperature", temperature)
+        record_sampler_batch(energies.shape[0] * energies.shape[1])
         np.argmin(energies, axis=-1, out=out)
         return out

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.base import SampleScratch
 from repro.core.params import RSUConfig
+from repro.obs import telemetry as obs
 from repro.rng.streams import generator_state, set_generator_state
 from repro.util.errors import ConfigError
 
@@ -28,6 +29,14 @@ def no_sample_bin(config: RSUConfig) -> int:
 def cutoff_bin(config: RSUConfig) -> int:
     """Bin value for cut-off labels (code 0): beyond even timed-out ones."""
     return config.time_bins + 2
+
+
+def _record_ttf_draw(n_uniforms: int) -> None:
+    """Telemetry hook: one TTF dispatch consuming ``n_uniforms`` variates."""
+    tel = obs.active()
+    if tel is not None:
+        tel.inc("entropy.uniforms", n_uniforms)
+        tel.inc("entropy.ttf_draws", n_uniforms)
 
 
 class TTFSampler:
@@ -73,6 +82,7 @@ class TTFSampler:
         # One uniform per lane, active or not: the RET entropy stream is
         # consumed at a fixed per-call rate so every downstream consumer
         # (and the fused kernel) stays aligned with this reference.
+        _record_ttf_draw(codes.size)
         uniforms = self._rng.random(codes.shape)
         active = codes > 0
         # Inverse-CDF exponential draw, in units of time bins.  All
@@ -113,6 +123,7 @@ class TTFSampler:
         """
         if codes.size and codes.min() < 0:
             raise ConfigError("decay-rate codes must be non-negative")
+        _record_ttf_draw(codes.size)
         uniforms = scratch.buf("ttf_uniforms", codes.shape, np.float64)
         self._rng.random(out=uniforms)
         return _finish_fused_sample(self.config, codes, uniforms, out, scratch)
@@ -134,6 +145,7 @@ class TTFSampler:
         """
         if codes.size and codes.min() < 0:
             raise ConfigError("decay-rate codes must be non-negative")
+        _record_ttf_draw(codes.size)
         uniforms = scratch.buf("ttf_uniforms", codes.shape, np.float64)
         for index, sampler in enumerate(ttf_samplers):
             sampler._rng.random(out=uniforms[index])

@@ -6,12 +6,19 @@ Usage::
     rsu-experiments run fig3 [--profile quick|full] [--seed N] [--json PATH]
     rsu-experiments run all  [--profile quick|full] [--jobs N] [--no-cache]
     rsu-experiments sweep --param time_bits --values 3,5,8 [--jobs N]
+    rsu-experiments run fig3 --telemetry [--trace-out run.jsonl]
+    rsu-experiments obs report --trace run.jsonl
 
 ``--jobs N`` dispatches the independent solves of an experiment over N
 worker processes; results are byte-identical to a sequential run.  The
 content-addressed result cache under ``--cache-dir`` (default
 ``.repro_cache/``) makes re-runs and interrupted sweeps resume
 instantly; ``--no-cache`` disables it.  See docs/performance.md.
+
+``--telemetry`` meters the run (sweep acceptance, entropy consumption,
+cache hit rates, µarch stalls) without perturbing any result and prints
+a summary table; ``--trace-out`` additionally persists the full metric
+stream as JSONL for ``obs report``.  See docs/observability.md.
 """
 
 from __future__ import annotations
@@ -27,6 +34,9 @@ from repro.experiments.engine import (
     use_engine,
 )
 from repro.experiments.registry import experiment_ids, run_experiment
+from repro.obs import telemetry as obs
+from repro.obs.cli import add_obs_parser
+from repro.obs.exporters import render_report, write_jsonl
 
 
 def _add_engine_options(subparser: argparse.ArgumentParser) -> None:
@@ -58,6 +68,16 @@ def _add_engine_options(subparser: argparse.ArgumentParser) -> None:
         "--resume", action="store_true",
         help="report the resume manifest of an interrupted run, then continue it "
              "against the warm cache",
+    )
+    subparser.add_argument(
+        "--telemetry", action="store_true",
+        help="meter the run (sweep/sampler/entropy/cache counters) and print a "
+             "summary table; results stay byte-identical",
+    )
+    subparser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the telemetry event stream to PATH as JSONL (implies --telemetry); "
+             "inspect later with 'repro-obs report --trace PATH'",
     )
 
 
@@ -98,7 +118,15 @@ def build_parser() -> argparse.ArgumentParser:
     reporter.add_argument("--seed", type=int, default=3)
     reporter.add_argument("-o", "--output", default="report.md")
     _add_engine_options(reporter)
+    obs_sub = sub.add_parser(
+        "obs", help="telemetry trace tools (see also the repro-obs entry point)"
+    ).add_subparsers(dest="obs_subcommand", required=True)
+    add_obs_parser(obs_sub)
     return parser
+
+
+def _telemetry_requested(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "telemetry", False) or getattr(args, "trace_out", None))
 
 
 def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
@@ -110,6 +138,7 @@ def _engine_from_args(args: argparse.Namespace) -> ExperimentEngine:
             max_attempts=args.max_attempts, timeout=args.task_timeout
         ),
         journal_path=args.journal,
+        telemetry=_telemetry_requested(args),
     )
 
 
@@ -149,8 +178,29 @@ def _main(argv=None) -> int:
         for experiment_id in experiment_ids():
             print(experiment_id)
         return 0
+    if args.command == "obs":
+        return args.obs_command(args)
     engine = _engine_from_args(args)
     _report_resume(engine, args)
+    if not _telemetry_requested(args):
+        try:
+            return _dispatch(args, engine)
+        finally:
+            engine.journal.close()
+    with obs.use_telemetry() as telemetry:
+        try:
+            code = _dispatch(args, engine)
+        finally:
+            engine.journal.close()
+    if args.trace_out:
+        write_jsonl(telemetry, args.trace_out)
+        print(f"(telemetry trace written to {args.trace_out})")
+    print()
+    print(render_report(telemetry))
+    return code
+
+
+def _dispatch(args: argparse.Namespace, engine: ExperimentEngine) -> int:
     if args.command == "report":
         from repro.experiments.report import generate_report
 

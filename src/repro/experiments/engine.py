@@ -73,7 +73,7 @@ from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
-from functools import lru_cache
+from functools import lru_cache, partial
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -87,6 +87,7 @@ from repro.data.motion_data import load_flow
 from repro.data.segmentation_data import make_segmentation_dataset
 from repro.data.stereo_data import load_stereo
 from repro.experiments.journal import RunJournal
+from repro.obs import telemetry as obs
 from repro.util.errors import ConfigError
 from repro.util.integrity import EnvelopeError, atomic_write_bytes, dump_envelope, load_envelope
 
@@ -236,6 +237,42 @@ def execute_task(task: SolveTask):
             f"seed={task.seed}, chains={task.chains}) failed: "
             f"{type(exc).__name__}: {exc}"
         ) from exc
+
+
+@dataclass(frozen=True)
+class TelemetryEnvelope:
+    """A task result plus the telemetry its execution recorded.
+
+    Produced by :func:`_telemetry_worker` around the engine's runner so
+    a worker process can meter its solve independently and ship the
+    counts home: ``snapshot`` is a :meth:`Telemetry.snapshot` dict
+    (JSON/pickle-cheap), ``elapsed_s`` the wall-clock task latency.
+    The engine unwraps envelopes in ``on_done`` *before* caching, so
+    the result cache stores exactly the raw values it always has.
+    """
+
+    value: object
+    snapshot: dict
+    elapsed_s: float
+
+
+def _telemetry_worker(runner, task):
+    """Run ``runner(task)`` under a private Telemetry; wrap the result.
+
+    Module-level (and composed via :func:`functools.partial`) so pool
+    workers can pickle it around any injectable runner.  The private
+    instance also scopes correctly inline: ``use_telemetry`` saves and
+    restores whatever the parent had active, and the parent merges the
+    snapshot back in ``on_done`` — same totals either way.
+    """
+    start = time.perf_counter()
+    with obs.use_telemetry() as telemetry:
+        value = runner(task)
+    return TelemetryEnvelope(
+        value=value,
+        snapshot=telemetry.snapshot(),
+        elapsed_s=time.perf_counter() - start,
+    )
 
 
 @dataclass(frozen=True)
@@ -443,6 +480,13 @@ class ExperimentEngine:
     runner:
         The callable executed per task (must be module-level picklable).
         Injectable for the chaos tests; defaults to :func:`execute_task`.
+    telemetry:
+        Meter every task through :func:`_telemetry_worker`: each task
+        (inline or in a pool worker) records into a private Telemetry
+        whose snapshot is merged into the parent's ambient instance and
+        mirrored into the journal as a ``"telemetry"`` event.  The
+        result cache still stores raw values — envelopes are unwrapped
+        before caching, so cache keys and contents are unchanged.
     """
 
     def __init__(
@@ -454,6 +498,7 @@ class ExperimentEngine:
         journal: Optional[RunJournal] = None,
         journal_path: Optional[os.PathLike] = None,
         runner: Callable[[SolveTask], object] = execute_task,
+        telemetry: bool = False,
     ):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -463,6 +508,10 @@ class ExperimentEngine:
         self.retry = retry if retry is not None else RetryPolicy()
         self.journal = journal if journal is not None else RunJournal(journal_path)
         self.runner = runner
+        self.telemetry = telemetry
+        # What actually executes per task; still partial-of-module-level,
+        # so pool workers pickle it exactly like the bare runner.
+        self._call = partial(_telemetry_worker, runner) if telemetry else runner
         self.stats = EngineStats()
         self._batch = 0
         self._interrupt: Optional[int] = None
@@ -486,6 +535,9 @@ class ExperimentEngine:
         resume manifest, and re-raises as :class:`KeyboardInterrupt`.
         """
         tasks = list(tasks)
+        stats_before = None
+        if self.telemetry and obs.enabled():
+            stats_before = asdict(self.stats)
         self.stats.tasks += len(tasks)
         keys = [task.key() for task in tasks]
         results: List = [None] * len(tasks)
@@ -519,6 +571,10 @@ class ExperimentEngine:
             outcomes: List = [None] * len(unique)
 
             def on_done(slot: int, outcome) -> None:
+                if isinstance(outcome, TelemetryEnvelope):
+                    outcome = self._ingest_telemetry(
+                        slot, unique_tasks[slot], outcome
+                    )
                 outcomes[slot] = outcome
                 if isinstance(outcome, TaskFailure):
                     return
@@ -551,11 +607,60 @@ class ExperimentEngine:
             # The batch ran to completion: any stale interrupt manifest
             # no longer describes reality.
             self.clear_resume_manifest()
+        if stats_before is not None:
+            self._sync_stats(stats_before)
         return results
 
     def run_task(self, task: SolveTask):
         """Convenience wrapper for a single task."""
         return self.run_tasks([task])[0]
+
+    # ------------------------------------------------------------------
+    # Telemetry aggregation
+
+    def _ingest_telemetry(self, slot: int, task: SolveTask, envelope):
+        """Fold a worker's telemetry into the run; return the raw value.
+
+        The snapshot merges into the ambient Telemetry (when one is
+        active in this parent process), the task's latency lands in the
+        ``engine.task_seconds`` histogram, and a compact summary is
+        mirrored into the journal — all *before* the value continues to
+        the cache, which therefore stores exactly what it always has.
+        """
+        counters = envelope.snapshot.get("counters", {})
+        tel = obs.active()
+        if tel is not None:
+            tel.merge(envelope.snapshot)
+            tel.observe("engine.task_seconds", envelope.elapsed_s)
+        self.journal.record(
+            "telemetry",
+            severity="info",
+            batch=self._batch,
+            position=slot,
+            task=task,
+            elapsed_s=round(envelope.elapsed_s, 6),
+            sweeps=counters.get("solver.sweeps", 0),
+            flips=counters.get("solver.flips", 0),
+            samples=counters.get("sampler.samples", 0),
+            uniforms=counters.get("entropy.uniforms", 0),
+        )
+        return envelope.value
+
+    def _sync_stats(self, before: dict) -> None:
+        """Mirror this batch's EngineStats deltas into engine.* counters."""
+        tel = obs.active()
+        if tel is None:
+            return
+        after = asdict(self.stats)
+        for name, value in after.items():
+            delta = value - before.get(name, 0)
+            if delta > 0:
+                tel.inc(f"engine.{name}", delta)
+        misses = (after["tasks"] - before.get("tasks", 0)) - (
+            after["cache_hits"] - before.get("cache_hits", 0)
+        )
+        if self.cache is not None and misses > 0:
+            tel.inc("engine.cache_misses", misses)
 
     # ------------------------------------------------------------------
     # Resume manifest
@@ -634,7 +739,7 @@ class ExperimentEngine:
                 self._check_interrupt()
                 attempts += 1
                 try:
-                    outcome = self.runner(task)
+                    outcome = self._call(task)
                 except Exception as exc:  # noqa: BLE001 — retried/quarantined
                     error = f"{type(exc).__name__}: {exc}"
                     if attempts >= self.retry.max_attempts:
@@ -686,7 +791,7 @@ class ExperimentEngine:
         """One shared-pool wave; returns ``(requeue, suspects)``."""
         workers = max(1, min(self.jobs, len(positions)))
         pool = ProcessPoolExecutor(max_workers=workers)
-        futures = {pool.submit(self.runner, tasks[p]): p for p in positions}
+        futures = {pool.submit(self._call, tasks[p]): p for p in positions}
         waiting = set(futures)
         started: set = set()
         deadlines: Dict[int, float] = {}
@@ -838,7 +943,7 @@ class ExperimentEngine:
             self._check_interrupt()
             attempts[p] += 1
             pool = ProcessPoolExecutor(max_workers=1)
-            future = pool.submit(self.runner, task)
+            future = pool.submit(self._call, task)
             reason = error = None
             try:
                 outcome = future.result(timeout=self.retry.timeout)

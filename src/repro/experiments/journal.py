@@ -13,12 +13,21 @@ Field mapping for engine events: ``sweep`` carries the engine's batch
 counter (the Nth ``run_tasks`` call), ``site`` the task's position
 within that batch, ``attempt`` the attempt number, and ``detail`` the
 task identity (cache-key prefix, app, backend, seed) plus the error.
+
+The JSONL mirror additionally stamps each line with a wall-clock ``ts``
+that is guaranteed monotonic non-decreasing within one journal — a
+stepped system clock cannot reorder the stream — while the in-memory
+:class:`Incident` records stay timestamp-free, preserving their
+deterministic serialization.  The mirror keeps one persistent append
+handle, flushes every record, and :meth:`close` flushes + ``fsync``\\ s
+so a journal closed cleanly is durable on disk.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -37,6 +46,7 @@ ENGINE_KINDS = TASK_KINDS + (
     "cache_corrupt",
     "cache_store_failed",
     "interrupted",
+    "telemetry",
 )
 
 
@@ -45,15 +55,34 @@ class RunJournal:
 
     The in-memory log is a plain :class:`IncidentLog` (same dataclass,
     same deterministic serialization); when ``path`` is given every
-    record is appended to the file and flushed immediately — a crash
-    loses at most the event being written.
+    record is appended to the file through a persistent handle and
+    flushed immediately — a crash loses at most the event being
+    written.  Use as a context manager (or call :meth:`close`) to
+    flush + fsync the mirror on the way out.
     """
 
     def __init__(self, path: Optional[os.PathLike] = None):
         self.log = IncidentLog()
         self.path = Path(path) if path is not None else None
+        self._handle = None
+        self._last_ts = 0.0
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def _mirror(self, incident: Incident) -> None:
+        if self.path is None:
+            return
+        if self._handle is None or self._handle.closed:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        # Wall-clock stamp, clamped so the stream's timestamps never go
+        # backwards even if the system clock steps during the run.
+        self._last_ts = max(time.time(), self._last_ts)
+        record = {"ts": round(self._last_ts, 6)}
+        record.update(incident.to_dict())
+        self._handle.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
 
     def record(
         self,
@@ -81,14 +110,22 @@ class RunJournal:
             attempt=attempt,
             **detail,
         )
-        if self.path is not None:
-            line = json.dumps(
-                incident.to_dict(), sort_keys=True, separators=(",", ":")
-            )
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
-                handle.flush()
+        self._mirror(incident)
         return incident
+
+    def close(self) -> None:
+        """Flush and ``fsync`` the JSONL mirror; safe to call repeatedly."""
+        if self._handle is not None and not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def counts_by_kind(self) -> Dict[str, int]:
         """Histogram of event kinds (delegates to the incident log)."""

@@ -31,6 +31,7 @@ its replica ladder through the same workspace.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -45,6 +46,7 @@ from repro.mrf.checkpoint import (
 )
 from repro.mrf.model import GridMRF, coloring_masks
 from repro.mrf.solver import MCMCSolver, SolveResult
+from repro.obs import telemetry as obs
 from repro.rng.streams import generator_state, set_generator_state
 from repro.util.errors import ConfigError, DataError
 
@@ -472,9 +474,15 @@ class EnsembleSolver:
         masks = coloring_masks(self.model.shape, self.model.connectivity)
         workspace = BatchedSweepWorkspace(self.model, masks, chains)
         workspace.bind(states)
+        tel = obs.active()
+        if tel is not None:
+            tel.set_gauge("ensemble.chains", chains)
         for iteration in range(start, iterations):
             temperature = self.schedule.temperature(iteration)
-            workspace.sweep(states, [temperature] * chains, samplers, wants)
+            with tel.span("ensemble.sweep") if tel is not None else nullcontext():
+                workspace.sweep(states, [temperature] * chains, samplers, wants)
+            if tel is not None:
+                tel.inc("ensemble.sweeps", 1)
             temperature_history.append(temperature)
             for k in range(chains):
                 histories[k].append(

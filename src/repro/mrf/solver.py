@@ -26,6 +26,7 @@ from repro.mrf.checkpoint import (
 )
 from repro.mrf.kernel import SweepWorkspace
 from repro.mrf.model import GridMRF, coloring_masks
+from repro.obs import telemetry as obs
 from repro.rng.streams import generator_state, set_generator_state
 from repro.util.errors import ConfigError
 
@@ -230,9 +231,19 @@ class MCMCSolver:
         workspace = self.workspace if self.use_fused else None
         if workspace is not None:
             workspace.bind(labels)
+        tel = obs.active()
+        prev_labels = labels.copy() if tel is not None else None
         for k in range(start, iterations):
             temperature = self.schedule.temperature(k)
-            if workspace is not None:
+            if tel is not None:
+                with tel.span("solver.sweep"):
+                    if workspace is not None:
+                        workspace.sweep(
+                            labels, temperature, self.sampler, self._wants_current
+                        )
+                    else:
+                        self.sweep(labels, temperature)
+            elif workspace is not None:
                 workspace.sweep(labels, temperature, self.sampler, self._wants_current)
             else:
                 self.sweep(labels, temperature)
@@ -241,6 +252,16 @@ class MCMCSolver:
                 result.energy_history.append(self.model.total_energy(labels))
             else:
                 result.energy_history.append(float("nan"))
+            if tel is not None:
+                flips = int(np.count_nonzero(labels != prev_labels))
+                np.copyto(prev_labels, labels)
+                tel.inc("solver.sweeps")
+                tel.inc("solver.flips", flips)
+                tel.inc("solver.site_updates", labels.size)
+                tel.observe("solver.acceptance_rate", flips / labels.size)
+                tel.set_gauge("solver.temperature", temperature)
+                if self.track_energy:
+                    tel.set_gauge("solver.energy", result.energy_history[-1])
             if callback is not None:
                 callback(k, labels, temperature)
                 if workspace is not None:

@@ -26,6 +26,7 @@ which ``tests/test_mrf_batch.py`` enforces.
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
@@ -41,6 +42,7 @@ from repro.mrf.checkpoint import (
 )
 from repro.mrf.model import GridMRF, coloring_masks
 from repro.mrf.solver import MCMCSolver
+from repro.obs import telemetry as obs
 from repro.rng.streams import generator_state, set_generator_state
 from repro.util.errors import ConfigError
 
@@ -268,6 +270,10 @@ class ParallelTempering:
                 energies[i], energies[i + 1] = energies[i + 1], energies[i]
                 result.swaps_accepted += 1
                 accepted.append(i)
+        tel = obs.active()
+        if tel is not None:
+            tel.inc("tempering.swap_attempts", len(pairs))
+            tel.inc("tempering.swaps_accepted", len(accepted))
         return accepted
 
     def _run_sequential(
@@ -288,17 +294,21 @@ class ParallelTempering:
             )
         for solver, labels in zip(self._solvers, states):
             solver.workspace.bind(labels)
+        tel = obs.active()
         for sweep_index in range(start, sweeps):
             energies = []
-            for solver, temperature, labels in zip(
-                self._solvers, self.temperatures, states
-            ):
-                # The workspace rebinds automatically when a swap handed
-                # this replica a different label array.
-                solver.workspace.sweep(
-                    labels, temperature, solver.sampler, solver._wants_current
-                )
-                energies.append(self.model.total_energy(labels))
+            with tel.span("tempering.sweep") if tel is not None else nullcontext():
+                for solver, temperature, labels in zip(
+                    self._solvers, self.temperatures, states
+                ):
+                    # The workspace rebinds automatically when a swap handed
+                    # this replica a different label array.
+                    solver.workspace.sweep(
+                        labels, temperature, solver.sampler, solver._wants_current
+                    )
+                    energies.append(self.model.total_energy(labels))
+            if tel is not None:
+                tel.inc("tempering.sweeps", 1)
             if (sweep_index + 1) % self.swap_interval == 0:
                 for i in self._swap_round(sweep_index, energies, result):
                     states[i], states[i + 1] = states[i + 1], states[i]
@@ -331,11 +341,15 @@ class ParallelTempering:
         masks = coloring_masks(self.model.shape, self.model.connectivity)
         workspace = BatchedSweepWorkspace(self.model, masks, chains)
         workspace.bind(states)
+        tel = obs.active()
         for sweep_index in range(start, sweeps):
-            workspace.sweep(states, self.temperatures, samplers, wants)
-            energies = [
-                self.model.total_energy(states[k]) for k in range(chains)
-            ]
+            with tel.span("tempering.sweep") if tel is not None else nullcontext():
+                workspace.sweep(states, self.temperatures, samplers, wants)
+                energies = [
+                    self.model.total_energy(states[k]) for k in range(chains)
+                ]
+            if tel is not None:
+                tel.inc("tempering.sweeps", 1)
             if (sweep_index + 1) % self.swap_interval == 0:
                 accepted = self._swap_round(sweep_index, energies, result)
                 for i in accepted:

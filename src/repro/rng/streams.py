@@ -30,7 +30,22 @@ from typing import Optional, Protocol, TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs import telemetry as obs
 from repro.util.errors import ConfigError
+
+
+def _record_uniforms(count: int) -> None:
+    """Telemetry hook: ``count`` uniforms produced by a generator.
+
+    Counts production at the generator-facing sources only (ideal numpy,
+    LFSR, MT19937) — a :class:`BufferedBitSource` serving cached floats
+    records nothing itself, so slab prefetching never double counts
+    (its refills land here through the wrapped source, plus the
+    dedicated ``entropy.slab_*`` counters).
+    """
+    tel = obs.active()
+    if tel is not None:
+        tel.inc("entropy.uniforms", count)
 
 if TYPE_CHECKING:  # annotation-only: streams must import before lfsr/mt19937
     from repro.rng.lfsr import LFSR
@@ -91,6 +106,7 @@ class NumpyBitSource:
         self._rng = rng
 
     def uniforms(self, count: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+        _record_uniforms(count)
         if out is None:
             return self._rng.random(count)
         _check_out(count, out)
@@ -114,6 +130,7 @@ class LFSRBitSource:
         self._bits_per_word = bits_per_word
 
     def uniforms(self, count: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+        _record_uniforms(count)
         return self._lfsr.uniforms(count, self._bits_per_word, out=out)
 
     def getstate(self) -> dict:
@@ -130,6 +147,7 @@ class MTBitSource:
         self._mt = mt
 
     def uniforms(self, count: int, out: Optional[np.ndarray] = None) -> np.ndarray:
+        _record_uniforms(count)
         return self._mt.uniforms(count, out=out)
 
     def getstate(self) -> dict:
@@ -182,6 +200,10 @@ class BufferedBitSource:
         self._slab_state = self._source.getstate()
         self._buf = self._source.uniforms(max(self._block, need))
         self._cursor = 0
+        tel = obs.active()
+        if tel is not None:
+            tel.inc("entropy.slab_refills")
+            tel.inc("entropy.slab_uniforms", self._buf.size)
 
     def uniforms(self, count: int, out: Optional[np.ndarray] = None) -> np.ndarray:
         if out is None:

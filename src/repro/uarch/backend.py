@@ -18,6 +18,7 @@ from typing import Dict
 from repro.core.base import SamplerBackend
 from repro.core.energy import EnergyStage
 from repro.core.params import RSUConfig
+from repro.obs import telemetry as obs
 from repro.uarch.machines import LegacyMachine, NewMachine
 from repro.util.errors import ConfigError
 
@@ -41,6 +42,12 @@ class MachineBackend(SamplerBackend):
         (:mod:`repro.uarch.events`, default) or the per-cycle scalar
         oracle.  Both produce identical labels and cycle counts; the
         event path is the fast one.
+    conflict_policy:
+        RET-network conflict handling for the new-design machine:
+        ``"count"`` (default) tallies conflicts without timing impact,
+        ``"stall"`` delays the conflicting issue into the next window —
+        the configuration under which ``uarch.stalls`` telemetry is
+        non-zero on real workloads.  Ignored by the legacy machine.
 
     Notes
     -----
@@ -59,6 +66,7 @@ class MachineBackend(SamplerBackend):
         energy_full_scale: float,
         rng: np.random.Generator,
         use_event_driven: bool = True,
+        conflict_policy: str = "count",
     ):
         new_style = config.scaling and config.cutoff and config.pow2_lambda
         legacy_style = not (config.scaling or config.cutoff or config.pow2_lambda)
@@ -72,6 +80,7 @@ class MachineBackend(SamplerBackend):
         self._rng = rng
         self._new_style = new_style
         self._use_event_driven = use_event_driven
+        self._conflict_policy = conflict_policy
         self._machines: Dict[float, object] = {}
         self.total_cycles = 0
         self.batches = 0
@@ -84,6 +93,7 @@ class MachineBackend(SamplerBackend):
                     self.config,
                     grid_temperature,
                     self._rng,
+                    conflict_policy=self._conflict_policy,
                     use_event_driven=self._use_event_driven,
                 )
             else:
@@ -103,6 +113,18 @@ class MachineBackend(SamplerBackend):
         result = machine.run_matrix(quantized)
         self.total_cycles += result.total_cycles
         self.batches += 1
+        tel = obs.active()
+        if tel is not None:
+            tel.inc("uarch.batches")
+            tel.inc("uarch.cycles", result.total_cycles)
+            tel.inc("uarch.labels", quantized.size)
+            stats = result.stats or {}
+            stalls = sum(
+                value for key, value in stats.items() if key.endswith("stalls")
+            )
+            tel.inc("uarch.stalls", stalls)
+            tel.inc("uarch.network_conflicts", stats.get("network_conflicts", 0))
+            tel.inc("uarch.trace_dropped", stats.get("trace_dropped", 0))
         return np.fromiter(
             (result.winners[v] for v in range(quantized.shape[0])),
             dtype=np.int64,

@@ -291,6 +291,13 @@ class LegacyMachine:
             guard += 1
             if guard > 10_000_000:
                 raise ConfigError("legacy machine did not terminate")
+        if self._trace is not None:
+            # Traced runs surface the trace-ring window in the result so
+            # a consumer can tell a complete trace from a truncated one.
+            # Untraced runs (including the event path) omit the keys, so
+            # event-vs-scalar stats identity is unaffected.
+            stats["trace_events"] = len(self._trace.events)
+            stats["trace_dropped"] = self._trace.dropped
         result = MachineResult(winners, winner_cycle, cycle, stats)
         result.stats["issue_cycles"] = issue_cycle_of  # type: ignore[assignment]
         return result
@@ -529,6 +536,11 @@ class NewMachine:
             guard += 1
             if guard > 10_000_000:
                 raise ConfigError("new machine did not terminate")
+        if self._trace is not None:
+            # See LegacyMachine._run_scalar: only traced runs carry the
+            # trace-window keys, so event-vs-scalar stats stay identical.
+            stats["trace_events"] = len(self._trace.events)
+            stats["trace_dropped"] = self._trace.dropped
         result = MachineResult(winners, winner_cycle, cycle, stats)
         result.stats["issue_cycles"] = issue_cycle_of  # type: ignore[assignment]
         return result

@@ -111,6 +111,11 @@ class PipelineTrace:
             lines.append(f"... ({len(grouped) - max_rows} more evaluations)")
         legend = "  ".join(f"{letter}={name}" for name, letter in STAGE_LETTERS.items())
         lines.append(legend)
+        if self.dropped:
+            lines.append(
+                f"(windowed trace: {self.dropped} oldest events dropped, "
+                f"{len(self.events)} retained)"
+            )
         return "\n".join(lines)
 
     def occupancy(self, stage: str) -> Dict[int, int]:

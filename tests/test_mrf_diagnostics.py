@@ -140,3 +140,58 @@ class TestTotalVariation:
         p = {(0,): 1.0}
         q = {(1,): 1.0}
         assert total_variation_distance(p, q) == 1.0
+
+
+class TestEdgeCases:
+    """Degenerate inputs: empty histories, single-sweep chains."""
+
+    def test_autocorrelation_rejects_empty_series(self):
+        with pytest.raises(DataError):
+            autocorrelation(np.array([]), 1)
+
+    def test_autocorrelation_rejects_single_sample(self):
+        with pytest.raises(DataError):
+            autocorrelation(np.array([1.0]), 1)
+
+    def test_ess_rejects_empty_series(self):
+        with pytest.raises((ConfigError, DataError)):
+            effective_sample_size(np.array([]))
+
+    def test_ess_rejects_single_sample(self):
+        with pytest.raises((ConfigError, DataError)):
+            effective_sample_size(np.array([2.5]))
+
+    def test_ess_of_two_samples(self):
+        value = effective_sample_size(np.array([1.0, 2.0]))
+        assert 0 < value <= 2.0
+
+    def test_gelman_rubin_rejects_short_chains(self):
+        with pytest.raises(ConfigError):
+            gelman_rubin([np.arange(3), np.arange(3)])
+
+    def test_gelman_rubin_identical_constant_chains(self):
+        constant = np.ones(16)
+        assert gelman_rubin([constant, constant.copy()]) == 1.0
+
+    def test_empirical_distribution_rejects_burn_in_swallowing_run(self):
+        model = tiny_model()
+        from repro.core import SoftwareSampler
+
+        backend = SoftwareSampler(np.random.default_rng(0))
+        with pytest.raises(ConfigError):
+            empirical_state_distribution(
+                model, backend, 0.5, sweeps=5, burn_in=5
+            )
+
+    def test_single_sweep_history_is_one_state(self):
+        """sweeps=1, burn_in=0: the distribution is a single visited state."""
+        model = tiny_model()
+        from repro.core import SoftwareSampler
+
+        backend = SoftwareSampler(np.random.default_rng(0))
+        empirical = empirical_state_distribution(
+            model, backend, 0.5, sweeps=1, burn_in=0, seed=3
+        )
+        assert len(empirical) == 1
+        (frequency,) = empirical.values()
+        assert frequency == 1.0

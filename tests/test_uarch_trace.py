@@ -98,3 +98,48 @@ class TestRendering:
         assert set(STAGE_LETTERS) >= {
             "issue", "energy", "convert", "fifo", "scale", "ret", "select", "stall",
         }
+
+
+class TestWindowedTrace:
+    """Dropped-event surfacing: render note and machine stats keys."""
+
+    def test_render_notes_dropped_events(self):
+        trace = PipelineTrace(max_events=3)
+        for cycle in range(10):
+            trace.record(cycle, "issue", 0, 0)
+        assert trace.dropped == 7
+        text = trace.render()
+        assert "windowed trace: 7 oldest events dropped, 3 retained" in text
+
+    def test_render_of_complete_trace_has_no_note(self):
+        trace, _ = traced_new_run()
+        assert trace.dropped == 0
+        assert "windowed" not in trace.render()
+
+    def test_traced_run_reports_trace_stats(self):
+        trace, result = traced_new_run()
+        assert result.stats["trace_events"] == len(trace.events)
+        assert result.stats["trace_dropped"] == 0
+
+    def test_traced_run_counts_drops_in_stats(self):
+        trace = PipelineTrace(max_events=8)
+        jobs = jobs_from_energies(
+            np.random.default_rng(0).integers(0, 256, (3, 4))
+        )
+        machine = NewMachine(
+            new_design_config(), 40.0, np.random.default_rng(1), trace=trace
+        )
+        result = machine.run(jobs)
+        assert result.stats["trace_dropped"] == trace.dropped > 0
+        assert result.stats["trace_events"] == 8
+
+    def test_untraced_run_has_no_trace_stats(self):
+        """The event-vs-scalar stats identity must not change: untraced
+        runs (the event path) carry no trace keys."""
+        jobs = jobs_from_energies(
+            np.random.default_rng(0).integers(0, 256, (2, 4))
+        )
+        machine = NewMachine(new_design_config(), 40.0, np.random.default_rng(1))
+        result = machine.run(jobs)
+        assert "trace_events" not in result.stats
+        assert "trace_dropped" not in result.stats
